@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared helpers for the table-reproduction benchmark binaries.
+ */
+
+#ifndef MACH_BENCH_BENCH_COMMON_HH
+#define MACH_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "apps/agora.hh"
+#include "apps/camelot.hh"
+#include "apps/mach_build.hh"
+#include "apps/parthenon.hh"
+#include "apps/workload.hh"
+#include "base/logging.hh"
+#include "vm/kernel.hh"
+
+namespace mach::bench
+{
+
+/** One evaluation application run on a fresh kernel. */
+struct AppRun
+{
+    std::string label;
+    apps::WorkloadResult result;
+    Tick runtime = 0;
+};
+
+/**
+ * Workload scale factor from the MACH_BENCH_SCALE environment variable
+ * (default 1). The default runs are time-compressed relative to the
+ * paper's 7.5-60 minute applications; a larger scale multiplies the
+ * work (jobs, transactions, successive runs) for event counts closer
+ * to the paper's, at proportionally longer host time.
+ */
+inline unsigned
+benchScale()
+{
+    const char *env = std::getenv("MACH_BENCH_SCALE");
+    if (env == nullptr)
+        return 1;
+    const int value = std::atoi(env);
+    return value >= 1 ? static_cast<unsigned>(value) : 1;
+}
+
+/** Factory for the four Section 5.2 applications by index 0..3. */
+inline std::unique_ptr<apps::Workload>
+makeApp(unsigned index)
+{
+    const unsigned scale = benchScale();
+    switch (index) {
+      case 0: {
+        apps::MachBuild::Params params;
+        params.jobs *= scale;
+        return std::make_unique<apps::MachBuild>(params);
+      }
+      case 1: {
+        apps::Parthenon::Params params;
+        params.runs *= scale;
+        return std::make_unique<apps::Parthenon>(params);
+      }
+      case 2: {
+        apps::Agora::Params params;
+        params.runs *= scale;
+        params.regions *= scale;
+        return std::make_unique<apps::Agora>(params);
+      }
+      case 3: {
+        apps::Camelot::Params params;
+        params.transactions *= scale;
+        return std::make_unique<apps::Camelot>(params);
+      }
+    }
+    fatal("makeApp: bad index %u", index);
+}
+
+inline const char *
+appLabel(unsigned index)
+{
+    static const char *labels[] = {"Mach", "Parthenon", "Agora",
+                                   "Camelot"};
+    return labels[index];
+}
+
+/** Run application @p index on a fresh machine with @p config. */
+inline AppRun
+runApp(unsigned index, const hw::MachineConfig &config)
+{
+    vm::Kernel kernel(config);
+    std::unique_ptr<apps::Workload> app = makeApp(index);
+    AppRun run;
+    run.label = appLabel(index);
+    run.result = app->execute(kernel);
+    run.runtime = run.result.virtual_runtime;
+    return run;
+}
+
+inline void
+printRuntime(const AppRun &run)
+{
+    std::printf("  %-10s virtual runtime %6.1f s\n", run.label.c_str(),
+                static_cast<double>(run.runtime) / kSec);
+}
+
+} // namespace mach::bench
+
+#endif // MACH_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 2: basic costs of TLB shootdown.
+ *
+ * Runs the Section 5.1 consistency tester with k = 1..15 child threads
+ * on a 16-processor machine, ten runs per point, and reports the mean
+ * and standard deviation of the initiator's synchronization time (from
+ * invoking the shootdown until the pmap change may begin).
+ *
+ * Paper result: a least-squares fit through the 1..12-processor points
+ * gives ~430 us base + ~55 us per additional processor; the 13..15
+ * points depart from the trend line and their standard deviation
+ * doubles, attributed to bus contention once more than 12 processors
+ * actively use the bus.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/consistency_tester.hh"
+#include "base/stats.hh"
+#include "vm/kernel.hh"
+
+using namespace mach;
+
+int
+main()
+{
+    constexpr unsigned kRunsPerPoint = 10;
+    constexpr unsigned kMaxChildren = 15;
+    constexpr unsigned kFitLimit = 12;
+
+    setLogQuiet(true);
+    std::printf("Figure 2: basic costs of TLB shootdown\n");
+    std::printf("(initiator time from invoking the shootdown until "
+                "pmap changes may begin)\n\n");
+    std::printf("%10s %12s %12s %8s\n", "processors", "mean(us)",
+                "stddev(us)", "runs");
+
+    std::vector<double> xs, ys;
+    std::vector<double> means, devs;
+
+    for (unsigned k = 1; k <= kMaxChildren; ++k) {
+        Sample times;
+        for (unsigned run = 0; run < kRunsPerPoint; ++run) {
+            hw::MachineConfig config;
+            config.seed = 0x5eed0000 + k * 131 + run;
+            vm::Kernel kernel(config);
+            apps::ConsistencyTester tester(
+                {.children = k, .warmup = 30 * kMsec});
+            const apps::WorkloadResult result = tester.execute(kernel);
+            if (!tester.consistent()) {
+                std::printf("!! inconsistency detected at k=%u\n", k);
+                return 1;
+            }
+            const auto &user = result.analysis.user_initiator;
+            if (user.events != 1) {
+                std::printf("!! expected 1 user shootdown, saw %llu\n",
+                            static_cast<unsigned long long>(user.events));
+                return 1;
+            }
+            times.add(user.time_usec.mean());
+        }
+        std::printf("%10u %12.1f %12.1f %8u\n", k, times.mean(),
+                    times.stddev(), kRunsPerPoint);
+        means.push_back(times.mean());
+        devs.push_back(times.stddev());
+        if (k <= kFitLimit) {
+            xs.push_back(k);
+            ys.push_back(times.mean());
+        }
+    }
+
+    const LinearFit fit = leastSquares(xs, ys);
+    std::printf("\nleast-squares fit over 1..%u processors:\n",
+                kFitLimit);
+    std::printf("  basic cost = %.0f us for the first processor\n",
+                fit.intercept + fit.slope);
+    std::printf("  plus %.0f us for every additional processor "
+                "(r^2 = %.3f)\n",
+                fit.slope, fit.r2);
+    std::printf("  (paper: 430 us + 55 us per processor)\n");
+
+    // Knee check: how far do the 13..15 points sit above the trend?
+    double max_excess = 0.0;
+    for (unsigned k = kFitLimit + 1; k <= kMaxChildren; ++k) {
+        const double predicted = fit.intercept + fit.slope * k;
+        const double excess = means[k - 1] - predicted;
+        if (excess > max_excess)
+            max_excess = excess;
+    }
+    std::printf("\nbeyond %u processors the points depart from the "
+                "trend line by up to %.0f us\n",
+                kFitLimit, max_excess);
+    std::printf("(bus contention and congestion once >12 processors "
+                "actively use the bus)\n");
+    return 0;
+}

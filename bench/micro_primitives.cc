@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Micro benchmarks (google-benchmark) of the substrate primitives:
+ * event queue throughput, fiber switching, TLB probes, page-table
+ * walks, and whole tester runs. These measure *host* performance of
+ * the simulator -- useful when deciding how large an experiment is
+ * affordable -- not simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/consistency_tester.hh"
+#include "hw/page_table.hh"
+#include "hw/phys_mem.hh"
+#include "hw/tlb.hh"
+#include "sim/context.hh"
+#include "vm/kernel.hh"
+
+using namespace mach;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    sim::EventQueue queue;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        queue.schedule(1, [&fired] { ++fired; });
+        Tick when = 0;
+        queue.popFront(&when)();
+    }
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void
+BM_FiberRoundTrip(benchmark::State &state)
+{
+    sim::Context ctx;
+    // One fiber that sleeps in a loop; each iteration is a
+    // scheduler-fiber-scheduler round trip.
+    std::uint64_t rounds = 0;
+    ctx.spawn("bench", [&] {
+        for (;;) {
+            ctx.sleep(1);
+            ++rounds;
+        }
+    });
+    for (auto _ : state)
+        ctx.run(ctx.now() + 1);
+    benchmark::DoNotOptimize(rounds);
+    state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+}
+BENCHMARK(BM_FiberRoundTrip);
+
+void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    hw::MachineConfig config;
+    hw::PhysMem mem(64);
+    hw::Tlb tlb(&config, &mem);
+    tlb.insert(1, 5, 42, ProtReadWrite, true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.lookup(1, 5, ProtRead, 0));
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void
+BM_TlbLookupMissFullBuffer(benchmark::State &state)
+{
+    hw::MachineConfig config;
+    hw::PhysMem mem(64);
+    hw::Tlb tlb(&config, &mem);
+    for (Vpn v = 0; v < config.tlb_entries; ++v)
+        tlb.insert(1, v, v, ProtRead, false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            tlb.lookup(1, 100000, ProtRead, 0));
+}
+BENCHMARK(BM_TlbLookupMissFullBuffer);
+
+void
+BM_PageTableWalk(benchmark::State &state)
+{
+    hw::PhysMem mem(256);
+    hw::PageTable table(&mem);
+    table.writePte(12345, hw::pte::make(17, ProtReadWrite));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table.walk(12345));
+}
+BENCHMARK(BM_PageTableWalk);
+
+void
+BM_PageTableWritePte(benchmark::State &state)
+{
+    hw::PhysMem mem(256);
+    hw::PageTable table(&mem);
+    Vpn vpn = 0;
+    for (auto _ : state) {
+        table.writePte(vpn % 1024, hw::pte::make(3, ProtRead));
+        ++vpn;
+    }
+}
+BENCHMARK(BM_PageTableWritePte);
+
+void
+BM_WholeTesterRun(benchmark::State &state)
+{
+    setLogQuiet(true);
+    const unsigned children = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        hw::MachineConfig config;
+        vm::Kernel kernel(config);
+        apps::ConsistencyTester tester(
+            {.children = children, .warmup = 20 * kMsec});
+        tester.execute(kernel);
+        if (!tester.consistent())
+            state.SkipWithError("inconsistency detected");
+    }
+}
+BENCHMARK(BM_WholeTesterRun)->Arg(2)->Arg(8)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MachineBringup(benchmark::State &state)
+{
+    setLogQuiet(true);
+    for (auto _ : state) {
+        hw::MachineConfig config;
+        config.ncpus = static_cast<unsigned>(state.range(0));
+        vm::Kernel kernel(config);
+        kernel.start();
+        benchmark::DoNotOptimize(kernel.machine().ncpus());
+    }
+}
+BENCHMARK(BM_MachineBringup)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The "Mach" evaluation application: a parallel build of the kernel
+ * from sources (Section 5.2).
+ *
+ * The build uses multiple processors only for throughput; it does not
+ * share memory among user tasks, so it causes no user-pmap shootdowns
+ * at all. Its kernel-pmap shootdowns come from the kernel buffers each
+ * compile job allocates, touches (or not), and frees: freeing a
+ * touched buffer invalidates live kernel mappings machine-wide, while
+ * freeing a never-touched buffer is exactly what the lazy-evaluation
+ * check elides (Table 1).
+ *
+ * A single Unix-compatibility mutex serializes part of every job,
+ * modelling the not-yet-parallelized Unix code that limited the
+ * paper's build speedup.
+ */
+
+#ifndef MACH_APPS_MACH_BUILD_HH
+#define MACH_APPS_MACH_BUILD_HH
+
+#include "apps/workload.hh"
+#include "base/rng.hh"
+
+namespace mach::apps
+{
+
+/** Parallel kernel build model. */
+class MachBuild : public Workload
+{
+  public:
+    struct Params
+    {
+        /** Number of compile jobs. */
+        unsigned jobs = 48;
+        /** Maximum jobs in flight (make -j). */
+        unsigned concurrency = 14;
+        /** Workload RNG seed. */
+        std::uint64_t seed = 0xbadc0de;
+    };
+
+    explicit MachBuild(Params params) : params_(params) {}
+
+    std::string name() const override { return "mach-build"; }
+
+    void run(vm::Kernel &kernel, kern::Thread &driver) override;
+
+    std::uint64_t jobs_completed = 0;
+
+  private:
+    void job(vm::Kernel &kernel, kern::Thread &self, std::uint64_t seed,
+             kern::Mutex &unix_server);
+
+    Params params_;
+};
+
+} // namespace mach::apps
+
+#endif // MACH_APPS_MACH_BUILD_HH

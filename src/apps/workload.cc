@@ -1,0 +1,37 @@
+#include "apps/workload.hh"
+
+#include "base/logging.hh"
+
+namespace mach::apps
+{
+
+WorkloadResult
+Workload::execute(vm::Kernel &kernel)
+{
+    kern::Machine &machine = kernel.machine();
+    kernel.start();
+    machine.xpr().reset();
+
+    const Tick start = machine.now();
+    kernel.spawnThread(nullptr, name() + "-driver",
+                       [this, &kernel](kern::Thread &driver) {
+                           run(kernel, driver);
+                           kernel.machine().ctx().requestStop();
+                       });
+    machine.run();
+
+    WorkloadResult result;
+    result.virtual_runtime = machine.now() - start;
+    result.analysis = xpr::analyze(machine.xpr());
+    result.lazy_avoided = 0;
+    for (const auto &task : kernel.tasks())
+        result.lazy_avoided += task->pmap().shootdowns_avoided_lazy;
+    result.lazy_avoided +=
+        kernel.pmaps().kernelPmap().shootdowns_avoided_lazy;
+    if (machine.xpr().overflowed())
+        warn("%s: xpr buffer overflowed; counts are truncated",
+             name().c_str());
+    return result;
+}
+
+} // namespace mach::apps

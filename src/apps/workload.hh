@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Common driver for the evaluation workloads (Section 5.2).
+ *
+ * A Workload runs on a fresh Kernel inside a driver thread; execute()
+ * spins the machine, then classifies the xpr records into the
+ * kernel-initiator / user-initiator / responder summaries the paper's
+ * tables report.
+ */
+
+#ifndef MACH_APPS_WORKLOAD_HH
+#define MACH_APPS_WORKLOAD_HH
+
+#include <string>
+
+#include "base/types.hh"
+#include "vm/kernel.hh"
+#include "xpr/analysis.hh"
+
+namespace mach::apps
+{
+
+/** Everything measured about one workload run. */
+struct WorkloadResult
+{
+    /** Simulated wall time the run took. */
+    Tick virtual_runtime = 0;
+    /** Classified shootdown records. */
+    xpr::RunAnalysis analysis;
+    /** Shootdowns skipped by the lazy-evaluation check. */
+    std::uint64_t lazy_avoided = 0;
+};
+
+/** Base class for the evaluation applications. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * The application body; runs in a kernel driver thread. Spawn
+     * tasks/threads, join them, and return when the run is complete.
+     */
+    virtual void run(vm::Kernel &kernel, kern::Thread &driver) = 0;
+
+    /**
+     * Bring the kernel up (if needed), run the workload to completion,
+     * and analyze the instrumentation buffer.
+     */
+    WorkloadResult execute(vm::Kernel &kernel);
+};
+
+} // namespace mach::apps
+
+#endif // MACH_APPS_WORKLOAD_HH

@@ -1,0 +1,70 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mach
+{
+
+namespace
+{
+bool log_quiet = false;
+
+void
+vlog(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    log_quiet = quiet;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (log_quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (log_quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("info", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace mach

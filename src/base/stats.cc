@@ -1,0 +1,145 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace mach
+{
+
+void
+Sample::add(double value)
+{
+    values_.push_back(value);
+    sum_ += value;
+    sorted_valid_ = false;
+}
+
+double
+Sample::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    return sum_ / static_cast<double>(values_.size());
+}
+
+double
+Sample::stddev() const
+{
+    if (values_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double ss = 0.0;
+    for (double v : values_) {
+        const double d = v - m;
+        ss += d * d;
+    }
+    return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+}
+
+double
+Sample::min() const
+{
+    if (values_.empty())
+        return 0.0;
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double
+Sample::max() const
+{
+    if (values_.empty())
+        return 0.0;
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+void
+Sample::ensureSorted() const
+{
+    if (sorted_valid_)
+        return;
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+}
+
+double
+Sample::percentile(double q) const
+{
+    if (values_.empty())
+        return 0.0;
+    MACH_ASSERT(q >= 0.0 && q <= 1.0);
+    ensureSorted();
+    const double pos = q * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+bool
+Sample::skewedLow() const
+{
+    const double med = median();
+    return (percentile(0.9) - med) > (med - percentile(0.1));
+}
+
+std::string
+Sample::meanStd(int precision) const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f+-%.*f", precision, mean(),
+                  precision, stddev());
+    return buf;
+}
+
+void
+Sample::reset()
+{
+    values_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+    sum_ = 0.0;
+}
+
+LinearFit
+leastSquares(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    MACH_ASSERT(xs.size() == ys.size());
+    MACH_ASSERT(xs.size() >= 2);
+
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+
+    const double denom = n * sxx - sx * sx;
+    if (denom == 0.0)
+        panic("leastSquares: all x values identical");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double sst = syy - sy * sy / n;
+    if (sst > 0.0) {
+        double sse = 0.0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double e = ys[i] - (fit.intercept + fit.slope * xs[i]);
+            sse += e * e;
+        }
+        fit.r2 = 1.0 - sse / sst;
+    } else {
+        fit.r2 = 1.0;
+    }
+    return fit;
+}
+
+} // namespace mach

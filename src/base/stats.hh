@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Sample statistics used to report results the way the paper does:
+ * mean +/- standard deviation, median, 10th and 90th percentiles, and a
+ * least-squares linear fit (used for the Figure 2 trend line).
+ */
+
+#ifndef MACH_BASE_STATS_HH
+#define MACH_BASE_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mach
+{
+
+/** Accumulates a sample of doubles and answers summary queries. */
+class Sample
+{
+  public:
+    /** Add one observation. */
+    void add(double value);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean; 0 for an empty sample. */
+    double mean() const;
+
+    /**
+     * Sample standard deviation (n-1 denominator, as is conventional for
+     * measured data); 0 for samples of fewer than two observations.
+     */
+    double stddev() const;
+
+    /** Smallest / largest observation; 0 for an empty sample. */
+    double min() const;
+    double max() const;
+
+    /**
+     * The q-quantile (0 <= q <= 1) by linear interpolation between order
+     * statistics; 0 for an empty sample.
+     */
+    double percentile(double q) const;
+
+    /** Median, i.e. percentile(0.5). */
+    double median() const { return percentile(0.5); }
+
+    /**
+     * Skewness indicator the paper uses in Section 7.3: the distribution
+     * is "skewed towards high frequencies at low values" when the 90th
+     * percentile is farther above the median than the 10th percentile is
+     * below it.
+     */
+    bool skewedLow() const;
+
+    /** Format as "mean+-stddev" with the given precision. */
+    std::string meanStd(int precision = 0) const;
+
+    /** Read-only access to the raw observations (unsorted). */
+    const std::vector<double> &values() const { return values_; }
+
+    /** Drop all observations. */
+    void reset();
+
+  private:
+    /** Sort values_ into sorted_ on demand. */
+    void ensureSorted() const;
+
+    std::vector<double> values_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+    double sum_ = 0.0;
+};
+
+/** Result of a least-squares straight-line fit y = intercept + slope*x. */
+struct LinearFit
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+    /** Coefficient of determination (r squared). */
+    double r2 = 0.0;
+};
+
+/**
+ * Least-squares fit over paired data. Requires at least two distinct x
+ * values; panics otherwise.
+ */
+LinearFit leastSquares(const std::vector<double> &xs,
+                       const std::vector<double> &ys);
+
+} // namespace mach
+
+#endif // MACH_BASE_STATS_HH

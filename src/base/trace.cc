@@ -1,0 +1,122 @@
+#include "base/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mach::trace
+{
+
+std::uint32_t g_mask = None;
+
+namespace
+{
+std::function<void(const std::string &)> g_sink;
+
+const char *
+categoryName(Category category)
+{
+    switch (category) {
+      case Shootdown:
+        return "shootdown";
+      case Pmap:
+        return "pmap";
+      case Vm:
+        return "vm";
+      case Sched:
+        return "sched";
+      case Intr:
+        return "intr";
+      default:
+        return "trace";
+    }
+}
+} // namespace
+
+void
+enable(std::uint32_t categories)
+{
+    g_mask |= categories;
+}
+
+void
+disable(std::uint32_t categories)
+{
+    g_mask &= ~categories;
+}
+
+void
+setMask(std::uint32_t categories)
+{
+    g_mask = categories;
+}
+
+std::uint32_t
+mask()
+{
+    return g_mask;
+}
+
+void
+setSink(std::function<void(const std::string &)> sink)
+{
+    g_sink = std::move(sink);
+}
+
+std::uint32_t
+parseCategories(const std::string &spec)
+{
+    std::uint32_t result = None;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string word = spec.substr(pos, comma - pos);
+        if (word == "shootdown")
+            result |= Shootdown;
+        else if (word == "pmap")
+            result |= Pmap;
+        else if (word == "vm")
+            result |= Vm;
+        else if (word == "sched")
+            result |= Sched;
+        else if (word == "intr")
+            result |= Intr;
+        else if (word == "all")
+            result |= All;
+        pos = comma + 1;
+    }
+    return result;
+}
+
+void
+initFromEnvironment()
+{
+    const char *spec = std::getenv("MACH_TRACE");
+    if (spec != nullptr && *spec != '\0')
+        enable(parseCategories(spec));
+}
+
+void
+log(Category category, Tick now, const char *fmt, ...)
+{
+    char body[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(body, sizeof(body), fmt, ap);
+    va_end(ap);
+
+    char line[600];
+    std::snprintf(line, sizeof(line), "%10llu us [%s] %s",
+                  static_cast<unsigned long long>(now / kUsec),
+                  categoryName(category), body);
+
+    if (g_sink)
+        g_sink(line);
+    else
+        std::fprintf(stderr, "%s\n", line);
+}
+
+} // namespace mach::trace

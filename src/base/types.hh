@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the library.
+ *
+ * The simulated machine is a 32-bit word machine in the spirit of the
+ * NS32332 Encore Multimax; virtual and physical addresses are 32 bits.
+ * Simulated time is kept in nanoseconds for headroom but reported in
+ * microseconds, matching the Multimax's free-running microsecond counter.
+ */
+
+#ifndef MACH_BASE_TYPES_HH
+#define MACH_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace mach
+{
+
+/** Simulated time in nanoseconds since machine power-on. */
+using Tick = std::uint64_t;
+
+/** One microsecond in Ticks. */
+constexpr Tick kUsec = 1000;
+/** One millisecond in Ticks. */
+constexpr Tick kMsec = 1000 * kUsec;
+/** One second in Ticks. */
+constexpr Tick kSec = 1000 * kMsec;
+
+/** Virtual address on the simulated machine. */
+using VAddr = std::uint32_t;
+/** Physical address on the simulated machine. */
+using PAddr = std::uint32_t;
+/** Physical page frame number. */
+using Pfn = std::uint32_t;
+/** Virtual page number. */
+using Vpn = std::uint32_t;
+
+/** CPU identifier; dense small integers starting at zero. */
+using CpuId = std::uint32_t;
+
+/** Hardware page parameters (NS32382-style 4 KB pages). */
+constexpr std::uint32_t kPageShift = 12;
+constexpr std::uint32_t kPageSize = 1u << kPageShift;
+constexpr std::uint32_t kPageMask = kPageSize - 1;
+
+/** Round an address down/up to a page boundary. */
+constexpr VAddr
+pageTrunc(VAddr addr)
+{
+    return addr & ~kPageMask;
+}
+
+constexpr VAddr
+pageRound(VAddr addr)
+{
+    return (addr + kPageMask) & ~kPageMask;
+}
+
+/** Convert between addresses and page numbers. */
+constexpr Vpn
+vaToVpn(VAddr addr)
+{
+    return addr >> kPageShift;
+}
+
+constexpr VAddr
+vpnToVa(Vpn vpn)
+{
+    return vpn << kPageShift;
+}
+
+/** Memory protection values, combinable as a bit mask. */
+enum Prot : std::uint8_t
+{
+    ProtNone = 0,
+    ProtRead = 1,
+    ProtWrite = 2,
+    ProtReadWrite = ProtRead | ProtWrite,
+};
+
+constexpr bool
+protAllows(Prot have, Prot want)
+{
+    return (static_cast<std::uint8_t>(have) &
+            static_cast<std::uint8_t>(want)) ==
+           static_cast<std::uint8_t>(want);
+}
+
+/** True when switching from @p from to @p to reduces access rights. */
+constexpr bool
+protReduces(Prot from, Prot to)
+{
+    return (static_cast<std::uint8_t>(from) &
+            ~static_cast<std::uint8_t>(to)) != 0;
+}
+
+} // namespace mach
+
+#endif // MACH_BASE_TYPES_HH

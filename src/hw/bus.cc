@@ -1,0 +1,2 @@
+// Bus is header-only; this file exists to anchor the translation unit.
+#include "hw/bus.hh"

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared-bus contention model.
+ *
+ * The Multimax is a bus-based machine with write-through caches; earlier
+ * experiments (cited in Section 7.1) showed bus congestion becoming
+ * significant once 12 or more processors actively use the bus. During a
+ * large shootdown the initiator plus all spinning responders are bus
+ * users (interrupt state saves and shootdown-structure polls miss in
+ * cache), which is what bends Figure 2 upward and doubles its standard
+ * deviation at 13-15 processors.
+ *
+ * The model: each memory access pays a penalty proportional to the
+ * number of current bus users beyond a threshold, plus deterministic
+ * pseudo-random jitter while contended.
+ */
+
+#ifndef MACH_HW_BUS_HH
+#define MACH_HW_BUS_HH
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "hw/machine_config.hh"
+
+namespace mach::hw
+{
+
+/** Tracks active bus users and prices accesses accordingly. */
+class Bus
+{
+  public:
+    explicit Bus(const MachineConfig *config)
+        : config_(config), rng_(config->seed ^ 0xb05b05b05ull)
+    {
+    }
+
+    /** A CPU begins actively using the bus (spinning, bursts of misses). */
+    void
+    enter()
+    {
+        ++users_;
+    }
+
+    /** The CPU stops actively using the bus. */
+    void
+    leave()
+    {
+        MACH_ASSERT(users_ > 0);
+        --users_;
+    }
+
+    unsigned users() const { return users_; }
+
+    /**
+     * Cost of one memory access right now: the uncontended base cost
+     * plus congestion penalty and jitter when the bus is saturated.
+     */
+    Tick
+    accessCost()
+    {
+        Tick cost = config_->mem_access_cost;
+        if (config_->mem_jitter > 0)
+            cost += rng_.below(config_->mem_jitter);
+        if (users_ > config_->bus_contention_threshold) {
+            const unsigned excess =
+                users_ - config_->bus_contention_threshold;
+            cost += excess * config_->bus_penalty_per_user;
+            if (config_->bus_contended_jitter > 0)
+                cost += rng_.below(config_->bus_contended_jitter);
+        }
+        return cost;
+    }
+
+    /** RAII bus-user registration. */
+    class User
+    {
+      public:
+        explicit User(Bus &bus) : bus_(bus) { bus_.enter(); }
+        ~User() { bus_.leave(); }
+        User(const User &) = delete;
+        User &operator=(const User &) = delete;
+
+      private:
+        Bus &bus_;
+    };
+
+  private:
+    const MachineConfig *config_;
+    Rng rng_;
+    unsigned users_ = 0;
+};
+
+} // namespace mach::hw
+
+#endif // MACH_HW_BUS_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Inter-processor and device interrupt delivery.
+ *
+ * Each CPU has one pending line per interrupt source; posting an already
+ * pending source merges with it (which is why the initiator checks "is a
+ * shootdown interrupt already pending" before adding a processor to its
+ * interrupt list -- Section 4, omitted detail 3). Delivery is decided by
+ * the target CPU's current interrupt priority level: a source is
+ * deliverable when its priority exceeds the level. The kick callback
+ * lets a sleeping simulated CPU be woken promptly when a deliverable
+ * interrupt arrives.
+ */
+
+#ifndef MACH_HW_INTR_HH
+#define MACH_HW_INTR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/machine_config.hh"
+
+namespace mach::hw
+{
+
+/** Per-machine interrupt controller. */
+class InterruptController
+{
+  public:
+    /** Invoked when a post makes a new interrupt pending on a CPU. */
+    using KickFn = std::function<void(CpuId)>;
+
+    InterruptController(const MachineConfig *config, unsigned ncpus);
+
+    /**
+     * Raise @p irq on @p target. Returns false (and does nothing more)
+     * if the line was already pending.
+     */
+    bool post(CpuId target, Irq irq);
+
+    /** Is @p irq currently pending on @p cpu? */
+    bool pending(CpuId cpu, Irq irq) const;
+
+    /** Acknowledge (clear) @p irq on @p cpu. */
+    void clear(CpuId cpu, Irq irq);
+
+    /**
+     * Highest-priority pending source deliverable at level @p spl, or
+     * -1 when none. Priorities come from MachineConfig::irqPriority.
+     */
+    int deliverable(CpuId cpu, Spl spl) const;
+
+    /** Register the wakeup callback (one per machine). */
+    void setKick(KickFn kick) { kick_ = std::move(kick); }
+
+    std::uint64_t postCount() const { return posts_; }
+
+  private:
+    const MachineConfig *config_;
+    /** pending_[cpu] is a bitmask indexed by Irq. */
+    std::vector<std::uint8_t> pending_;
+    KickFn kick_;
+    std::uint64_t posts_ = 0;
+};
+
+} // namespace mach::hw
+
+#endif // MACH_HW_INTR_HH

@@ -1,0 +1,74 @@
+#include "hw/machine_config.hh"
+
+#include "base/logging.hh"
+
+namespace mach::hw
+{
+
+Spl
+MachineConfig::irqPriority(Irq irq) const
+{
+    switch (irq) {
+      case Irq::Shootdown:
+        // Baseline hardware delivers the shootdown IPI below device
+        // priority, so kernel code that masks devices also blocks
+        // shootdowns -- the cause of the kernel-shootdown skew in
+        // Section 8. The Section 9 option raises it above devices.
+        return high_priority_ipi ? SplHigh : SplSoft;
+      case Irq::Timer:
+      case Irq::Device:
+        return SplDevice;
+    }
+    panic("irqPriority: bad irq %u", static_cast<unsigned>(irq));
+}
+
+void
+MachineConfig::validate() const
+{
+    if (ncpus == 0 || ncpus > 1024)
+        fatal("MachineConfig: ncpus %u out of range [1,1024]", ncpus);
+    if (phys_frames < 64)
+        fatal("MachineConfig: need at least 64 physical frames");
+    if (tlb_entries == 0)
+        fatal("MachineConfig: TLB must have at least one entry");
+    if (action_queue_size == 0)
+        fatal("MachineConfig: action queue must hold at least one entry");
+    if (multicast_ipi && broadcast_ipi)
+        fatal("MachineConfig: multicast and broadcast IPI are exclusive");
+    if (kernel_pools == 0 || kernel_pools > ncpus ||
+        ncpus % kernel_pools != 0) {
+        fatal("MachineConfig: kernel_pools (%u) must evenly divide "
+              "ncpus (%u)",
+              kernel_pools, ncpus);
+    }
+    if (consistency_strategy == ConsistencyStrategy::DelayedFlush) {
+        if (!tlb_no_refmod_writeback && !tlb_interlocked_refmod) {
+            fatal("MachineConfig: the delayed-flush technique leaves "
+                  "remote TLBs live during pmap updates, so it "
+                  "requires tlb_no_refmod_writeback (cf. the MIPS "
+                  "systems of Thompson et al.)");
+        }
+        if (timer_period == 0)
+            fatal("MachineConfig: delayed-flush needs timer "
+                  "interrupts to drive the buffer flushes");
+    }
+    if (tlb_remote_invalidate && !tlb_no_refmod_writeback &&
+        !tlb_interlocked_refmod) {
+        // Section 9: remote invalidation "can eliminate shootdown
+        // interrupts entirely if the reference/modify bit writeback
+        // problem is successfully addressed" -- without that, a
+        // responder's TLB can still corrupt an in-flight pmap update.
+        fatal("MachineConfig: tlb_remote_invalidate requires "
+              "tlb_no_refmod_writeback or tlb_interlocked_refmod "
+              "(see Section 9)");
+    }
+    if (virtual_cache && !tlb_no_refmod_writeback) {
+        fatal("MachineConfig: the virtual-cache model is software "
+              "managed; set tlb_no_refmod_writeback");
+    }
+    if (tlb_interlocked_refmod && tlb_no_refmod_writeback)
+        fatal("MachineConfig: interlocked ref/mod updates and no "
+              "writeback at all are mutually exclusive TLB designs");
+}
+
+} // namespace mach::hw

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Configuration of the simulated multiprocessor.
+ *
+ * The default values model the paper's testbed: a 16-processor NS32332
+ * Encore Multimax with NS32382 MMUs, a shared bus with write-through
+ * caches, and a free-running microsecond clock. Timing constants are
+ * calibrated (see bench/fig2_basic_cost) so that the Section 5.1 tester
+ * reproduces Figure 2: a basic shootdown cost of ~430 us for the first
+ * processor plus ~55 us per additional processor, with a bus-contention
+ * knee once more than 12 processors are active.
+ *
+ * The feature flags at the bottom select the hardware-support options the
+ * paper discusses in Section 9 and the policy toggles used by the
+ * evaluation (lazy evaluation on/off for Table 1, instrumentation on/off
+ * for Section 6.1).
+ */
+
+#ifndef MACH_HW_MACHINE_CONFIG_HH
+#define MACH_HW_MACHINE_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace mach::hw
+{
+
+/** Interrupt sources, lowest priority first. */
+enum class Irq : std::uint8_t
+{
+    Shootdown = 0,  ///< TLB-shootdown inter-processor interrupt.
+    Timer = 1,      ///< Periodic scheduler clock.
+    Device = 2,     ///< Disk and other device completion interrupts.
+};
+constexpr unsigned kNumIrqs = 3;
+
+/**
+ * Interrupt priority levels. An interrupt is deliverable when its
+ * priority exceeds the CPU's current level. SplHigh masks everything,
+ * matching "both the initiator and responder should disable all
+ * interrupts during a shootdown" (Section 4).
+ */
+enum Spl : std::uint8_t
+{
+    Spl0 = 0,       ///< Everything enabled.
+    SplSoft = 1,    ///< Shootdown IPIs masked (baseline hardware).
+    SplDevice = 2,  ///< Device + timer interrupts masked as well.
+    SplHigh = 3,    ///< All interrupts masked.
+};
+
+/**
+ * How TLB consistency is maintained (Section 3's candidate
+ * techniques).
+ */
+enum class ConsistencyStrategy : std::uint8_t
+{
+    /** Technique 1: the Mach shootdown algorithm (the paper's choice). */
+    Shootdown,
+    /**
+     * Technique 2: delay use of changed mappings until every buffer
+     * has been flushed by code executed in response to timer
+     * interrupts. Correct, but "the additional buffer flushes ... can
+     * be expensive on some architectures", and every mapping change
+     * waits out a timer period. Requires a TLB without ref/mod
+     * writeback (as on the MIPS systems where this technique was
+     * actually used), since nothing stalls remote processors during
+     * the update.
+     */
+    DelayedFlush,
+};
+
+/** Full parameter set for one simulated machine. */
+struct MachineConfig
+{
+    /** Number of processors. The Multimax under test had 16. */
+    unsigned ncpus = 16;
+
+    /** Physical memory in 4 KB frames (default 64 MB). */
+    std::uint32_t phys_frames = 16384;
+
+    /** Deterministic seed for all machine-level randomness. */
+    std::uint64_t seed = 0x4d616368u; // "Mach"
+
+    // ---- TLB geometry and costs -------------------------------------
+
+    /** Entries per TLB. */
+    unsigned tlb_entries = 64;
+
+    /**
+     * Invalidation policy threshold (Section 4, omitted detail 1):
+     * beyond this many pages it is cheaper to flush the whole buffer
+     * than to invalidate individual entries.
+     */
+    unsigned tlb_flush_threshold = 4;
+
+    /** Cost of a TLB hit lookup. */
+    Tick tlb_lookup_cost = 150;
+    /** Cost of invalidating one entry. */
+    Tick tlb_invalidate_cost = 8 * kUsec;
+    /** Cost of flushing the entire buffer. */
+    Tick tlb_flush_cost = 20 * kUsec;
+    /** Extra cost of a hardware reload (page-table walk), per level. */
+    Tick tlb_reload_cost_per_level = 2 * kUsec;
+
+    // ---- Memory and bus ---------------------------------------------
+
+    /** Uncontended cost of one memory access. */
+    Tick mem_access_cost = 600;
+    /** Peak uniform jitter per access (cache hit/miss variation). */
+    Tick mem_jitter = 300;
+
+    /**
+     * Bus congestion: once more than this many CPUs are actively using
+     * the bus, each access pays a penalty per extra user. Previous
+     * Multimax experiments put the knee at ~12 active processors
+     * (Section 7.1).
+     */
+    unsigned bus_contention_threshold = 12;
+    /** Additional cost per access per bus user beyond the threshold. */
+    Tick bus_penalty_per_user = 6000;
+    /**
+     * Peak random jitter per access while contended; models the doubled
+     * standard deviation the paper observed at 13-15 processors.
+     */
+    Tick bus_contended_jitter = 15000;
+
+    // ---- Interrupt structure ----------------------------------------
+
+    /** Initiator-side cost to send one directed IPI. */
+    Tick ipi_send_cost = 42 * kUsec;
+    /** Peak uniform jitter added per IPI send. */
+    Tick ipi_send_jitter = 6 * kUsec;
+    /** Wire latency from send until the target can notice the IPI. */
+    Tick ipi_latency = 15 * kUsec;
+    /** State save / dispatch overhead entering an interrupt handler. */
+    Tick intr_dispatch_cost = 80 * kUsec;
+    /** Peak uniform jitter of the dispatch (state-save variation). */
+    Tick intr_dispatch_jitter = 16 * kUsec;
+    /** Overhead returning from an interrupt handler. */
+    Tick intr_return_cost = 12 * kUsec;
+
+    /**
+     * Initiator-side fixed overhead of starting a shootdown: building
+     * the list, touching the (uncached) shootdown structures, saving
+     * state. Calibrated against Figure 2's ~430 us intercept.
+     */
+    Tick shootdown_setup_cost = 266 * kUsec;
+
+    /** Period of the scheduler timer interrupt (0 disables it). */
+    Tick timer_period = 16 * kMsec;
+    /** Time consumed by one timer interrupt service. */
+    Tick timer_service_cost = 120 * kUsec;
+
+    // ---- Kernel primitive costs -------------------------------------
+
+    /** Acquiring / releasing an uncontended spin lock. */
+    Tick lock_acquire_cost = 6 * kUsec;
+    Tick lock_release_cost = 2 * kUsec;
+    /** Busy-wait polling interval while spinning on a lock or flag. */
+    Tick spin_quantum = 4 * kUsec;
+    /** Context switch cost (state save/restore, excluding TLB flush). */
+    Tick ctx_switch_cost = 150 * kUsec;
+    /** Fixed overhead of a pmap operation (entry, checks). */
+    Tick pmap_op_base_cost = 60 * kUsec;
+    /** Cost of the lazy-evaluation validity check, per page examined. */
+    Tick lazy_check_cost_per_page = 500;
+
+    // ---- Machine-independent VM costs --------------------------------
+
+    /** Fixed overhead of servicing a page fault (trap, map lookup). */
+    Tick fault_base_cost = 250 * kUsec;
+    /** Fixed overhead of a VM address-space operation. */
+    Tick vm_op_base_cost = 150 * kUsec;
+    /** Zero-filling a fresh page. */
+    Tick zero_fill_cost = 900 * kUsec;
+    /** Copying a page to resolve copy-on-write. */
+    Tick page_copy_cost = 1800 * kUsec;
+    /** Latency of a pagein from backing store. */
+    Tick pagein_latency = 22 * kMsec;
+    /** Latency of writing a dirty page to backing store. */
+    Tick pageout_latency = 28 * kMsec;
+    /** Pageout daemon wakes when free frames drop below this count. */
+    std::uint32_t pageout_low_frames = 64;
+
+    // ---- Instrumentation (Section 6) --------------------------------
+
+    /** Record shootdown events into the xpr buffer. */
+    bool xpr_enabled = true;
+    /** Cost of gathering and storing one xpr event record. */
+    Tick xpr_record_cost = 4 * kUsec;
+    /** Number of CPUs on which responder events are recorded. */
+    unsigned xpr_responder_cpus = 5;
+    /** Capacity of the circular event buffer. */
+    std::size_t xpr_capacity = 1u << 16;
+
+    // ---- Section 9 hardware-support options -------------------------
+
+    /**
+     * Give the shootdown IPI priority above device interrupts, so that
+     * code holding device interrupts masked still takes shootdowns.
+     */
+    bool high_priority_ipi = false;
+
+    /** Send one multicast IPI to a set of CPUs at fixed cost. */
+    bool multicast_ipi = false;
+    /** Cost of loading the bit vector and triggering a multicast. */
+    Tick multicast_send_cost = 22 * kUsec;
+
+    /** Broadcast IPI to all other CPUs at fixed cost (over-interrupts). */
+    bool broadcast_ipi = false;
+    Tick broadcast_send_cost = 18 * kUsec;
+
+    /**
+     * TLB supports remote invalidation of entries by other processors
+     * (MC88200 style): no responder involvement at all.
+     */
+    bool tlb_remote_invalidate = false;
+    /** Cost for the initiator to invalidate one remote TLB's entries. */
+    Tick remote_invalidate_cost = 10 * kUsec;
+
+    /**
+     * Software-reloaded TLB (MIPS style): reload checks whether the pmap
+     * is being modified, so responders acknowledge and return instead of
+     * stalling while the initiator updates the pmap.
+     */
+    bool tlb_software_reload = false;
+
+    /**
+     * TLB never writes reference/modify bits back to memory (RP3 style):
+     * page faults detect modifications instead, so in-progress pmap
+     * updates cannot be corrupted and responders need not stall.
+     */
+    bool tlb_no_refmod_writeback = false;
+
+    /**
+     * MMU access to the reference/modify bits is an interlocked
+     * read-modify-write that checks mapping validity (MC88200 style;
+     * the 80386 attempts this): instead of blindly rewriting the PTE
+     * from the TLB's image, the hardware reads the current PTE, faults
+     * if it no longer maps validly, and otherwise ORs in ref/mod.
+     * This eliminates the page-table corruption hazard, so shootdown
+     * interrupts can be postponed until after the pmap change
+     * (Section 9, third TLB redesign bullet).
+     */
+    bool tlb_interlocked_refmod = false;
+
+    /**
+     * Tag TLB entries with an address-space identifier and do not flush
+     * on context switch (MIPS style, Section 10): a pmap stays "in use"
+     * on a processor until its entries are explicitly flushed.
+     */
+    bool tlb_asid_tags = false;
+
+    /**
+     * Model a VMP-style virtually-addressed cache instead of a TLB
+     * (Section 9): translation state is embedded in a large cache
+     * directory, and invalidating a page mapping requires "an
+     * exhaustive search of the cache directory for [entries] in the
+     * specified range, with a few optimizations" in software on every
+     * processor that has the page mapped. Mechanically the directory
+     * behaves like a large translation buffer (size tlb_entries, which
+     * callers should raise to cache scale), but every consistency
+     * action pays the directory-search cost below instead of a cheap
+     * entry invalidate. Requires tlb_no_refmod_writeback (VMP's cache
+     * is software-managed).
+     */
+    bool virtual_cache = false;
+    /** Cost per directory line examined during an invalidation. */
+    Tick vc_search_cost_per_line = 600;
+
+    // ---- Policy toggles ----------------------------------------------
+
+    /** TLB consistency technique (Section 3). */
+    ConsistencyStrategy consistency_strategy =
+        ConsistencyStrategy::Shootdown;
+
+    /**
+     * Section 8 restructuring for large machines: divide both the
+     * processors and the kernel virtual address space into this many
+     * pools. Pool-local kernel memory (kmem) is allocated from the
+     * executing processor's pool slice, and kernel-pmap shootdowns on
+     * a pool slice interrupt only that pool's processors. Soundness
+     * relies on the restructured kernel's discipline that pool-local
+     * memory is not shared between pools (threads using it stay
+     * pool-affine), exactly as the paper proposes. 1 = the uniform
+     * baseline.
+     */
+    unsigned kernel_pools = 1;
+
+    /**
+     * Lazy evaluation (Table 1): skip the shootdown when none of the
+     * affected pages are mapped in the physical map.
+     */
+    bool lazy_evaluation = true;
+
+    /**
+     * Master switch for TLB consistency actions. Disabling it makes the
+     * Section 5.1 tester detect genuine inconsistencies; exists only so
+     * tests can prove the algorithm is load-bearing.
+     */
+    bool shootdown_enabled = true;
+
+    /** Per-CPU consistency-action queue depth (overflow => full flush). */
+    unsigned action_queue_size = 8;
+
+    /** Priority of the given interrupt source under this config. */
+    Spl irqPriority(Irq irq) const;
+
+    /** Validate invariants; calls fatal() on nonsense configurations. */
+    void validate() const;
+};
+
+} // namespace mach::hw
+
+#endif // MACH_HW_MACHINE_CONFIG_HH

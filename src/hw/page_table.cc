@@ -1,0 +1,155 @@
+#include "hw/page_table.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mach::hw
+{
+
+namespace
+{
+constexpr unsigned kLeafBits = 10;
+constexpr unsigned kLeafMask = (1u << kLeafBits) - 1;
+
+unsigned
+rootIndex(Vpn vpn)
+{
+    return vpn >> kLeafBits;
+}
+
+unsigned
+leafIndex(Vpn vpn)
+{
+    return vpn & kLeafMask;
+}
+} // namespace
+
+PageTable::PageTable(PhysMem *mem) : mem_(mem)
+{
+    MACH_ASSERT(mem_ != nullptr);
+    root_pfn_ = mem_->allocFrame();
+}
+
+PageTable::~PageTable()
+{
+    collect();
+    mem_->freeFrame(root_pfn_);
+}
+
+PAddr
+PageTable::rootAddr() const
+{
+    return root_pfn_ << kPageShift;
+}
+
+std::uint32_t
+PageTable::rootEntry(Vpn vpn) const
+{
+    return mem_->read32(rootAddr() + rootIndex(vpn) * 4);
+}
+
+WalkResult
+PageTable::walk(Vpn vpn) const
+{
+    WalkResult result;
+    const std::uint32_t root = rootEntry(vpn);
+    result.memory_reads = 1;
+    if (!pte::valid(root))
+        return result;
+    result.leaf_present = true;
+    const PAddr leaf_addr =
+        (pte::pfn(root) << kPageShift) + leafIndex(vpn) * 4;
+    result.pte = mem_->read32(leaf_addr);
+    result.memory_reads = 2;
+    return result;
+}
+
+bool
+PageTable::leafPresent(Vpn vpn) const
+{
+    return pte::valid(rootEntry(vpn));
+}
+
+std::uint32_t
+PageTable::readPte(Vpn vpn) const
+{
+    return walk(vpn).pte;
+}
+
+PAddr
+PageTable::pteAddr(Vpn vpn) const
+{
+    const std::uint32_t root = rootEntry(vpn);
+    if (!pte::valid(root))
+        return 0;
+    return (pte::pfn(root) << kPageShift) + leafIndex(vpn) * 4;
+}
+
+void
+PageTable::writePte(Vpn vpn, std::uint32_t value)
+{
+    std::uint32_t root = rootEntry(vpn);
+    if (!pte::valid(root)) {
+        if (!pte::valid(value))
+            return; // Invalidating an unmapped page: nothing to do.
+        const Pfn leaf = mem_->allocFrame();
+        ++leaf_count_;
+        root = pte::make(leaf, ProtReadWrite);
+        mem_->write32(rootAddr() + rootIndex(vpn) * 4, root);
+    }
+    const PAddr leaf_addr =
+        (pte::pfn(root) << kPageShift) + leafIndex(vpn) * 4;
+    mem_->write32(leaf_addr, value);
+}
+
+void
+PageTable::forEachValid(
+    Vpn start, Vpn end,
+    const std::function<void(Vpn, std::uint32_t)> &fn) const
+{
+    Vpn vpn = start;
+    while (vpn < end) {
+        const std::uint32_t root = rootEntry(vpn);
+        if (!pte::valid(root)) {
+            // Whole leaf missing: skip to the next leaf boundary.
+            const Vpn next = (vpn | kLeafMask) + 1;
+            vpn = next > vpn ? next : end;
+            continue;
+        }
+        const PAddr leaf_base = pte::pfn(root) << kPageShift;
+        const Vpn leaf_end = std::min<Vpn>(end, (vpn | kLeafMask) + 1);
+        for (; vpn < leaf_end; ++vpn) {
+            const std::uint32_t entry =
+                mem_->read32(leaf_base + leafIndex(vpn) * 4);
+            if (pte::valid(entry))
+                fn(vpn, entry);
+        }
+    }
+}
+
+unsigned
+PageTable::countValid(Vpn start, Vpn end) const
+{
+    unsigned count = 0;
+    forEachValid(start, end,
+                 [&count](Vpn, std::uint32_t) { ++count; });
+    return count;
+}
+
+void
+PageTable::collect()
+{
+    for (unsigned index = 0; index < kEntriesPerTable; ++index) {
+        const PAddr slot = rootAddr() + index * 4;
+        const std::uint32_t root = mem_->read32(slot);
+        if (!pte::valid(root))
+            continue;
+        mem_->freeFrame(pte::pfn(root));
+        mem_->write32(slot, 0);
+        --leaf_count_;
+    }
+    MACH_ASSERT(leaf_count_ == 0);
+}
+
+} // namespace mach::hw

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Two-level page tables in the style of the NS32382 MMU.
+ *
+ * A 32-bit virtual address splits 10/10/12: the top 10 bits index a root
+ * table of 1024 entries, the next 10 bits index a page-sized leaf table
+ * of 1024 PTEs, and the low 12 bits are the page offset. Leaf tables are
+ * allocated on demand in page-sized chunks; the pmap module exploits this
+ * structure for its residual lazy evaluation ("if the pmap module ever
+ * finds a missing second level page table entry, it knows that an entire
+ * page of second level entries is missing", Section 7.2).
+ *
+ * Both table levels live in simulated physical memory, so the TLB's
+ * hardware reload and reference/modify-bit writeback operate on the very
+ * same words the pmap module updates -- faithfully reproducing the races
+ * of Section 3.
+ */
+
+#ifndef MACH_HW_PAGE_TABLE_HH
+#define MACH_HW_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "base/types.hh"
+#include "hw/phys_mem.hh"
+
+namespace mach::hw
+{
+
+/** PTE bit layout (32-bit entries at both levels). */
+namespace pte
+{
+constexpr std::uint32_t kValid = 1u << 0;
+constexpr std::uint32_t kWrite = 1u << 1;
+constexpr std::uint32_t kRef = 1u << 2;
+constexpr std::uint32_t kMod = 1u << 3;
+constexpr std::uint32_t kPfnShift = kPageShift;
+
+constexpr std::uint32_t
+make(Pfn pfn, Prot prot, bool ref = false, bool mod = false)
+{
+    std::uint32_t v = (pfn << kPfnShift) | kValid;
+    if (protAllows(prot, ProtWrite))
+        v |= kWrite;
+    if (ref)
+        v |= kRef;
+    if (mod)
+        v |= kMod;
+    return v;
+}
+
+constexpr bool valid(std::uint32_t v) { return (v & kValid) != 0; }
+constexpr bool writable(std::uint32_t v) { return (v & kWrite) != 0; }
+constexpr bool referenced(std::uint32_t v) { return (v & kRef) != 0; }
+constexpr bool modified(std::uint32_t v) { return (v & kMod) != 0; }
+constexpr Pfn pfn(std::uint32_t v) { return v >> kPfnShift; }
+
+constexpr Prot
+prot(std::uint32_t v)
+{
+    if (!valid(v))
+        return ProtNone;
+    return writable(v) ? ProtReadWrite : ProtRead;
+}
+} // namespace pte
+
+/** Result of a hardware page-table walk. */
+struct WalkResult
+{
+    std::uint32_t pte = 0;       ///< Leaf PTE value (0 if none).
+    unsigned memory_reads = 0;   ///< Accesses performed by the walker.
+    bool leaf_present = false;   ///< Second-level table existed.
+};
+
+/** One pmap's two-level page table. */
+class PageTable
+{
+  public:
+    static constexpr unsigned kEntriesPerTable = kPageSize / 4;
+    /** Pages of VA space covered by one leaf table. */
+    static constexpr unsigned kPagesPerLeaf = kEntriesPerTable;
+
+    explicit PageTable(PhysMem *mem);
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /** Physical address of the root table (for diagnostics). */
+    PAddr rootAddr() const;
+
+    /**
+     * Hardware walk as the MMU performs it: read root entry, then leaf
+     * PTE. Never allocates; returns pte = 0 when any level is missing.
+     */
+    WalkResult walk(Vpn vpn) const;
+
+    /** True when the leaf table covering @p vpn exists. */
+    bool leafPresent(Vpn vpn) const;
+
+    /**
+     * Read the PTE for @p vpn; 0 when unmapped (missing levels read as
+     * invalid, matching hardware).
+     */
+    std::uint32_t readPte(Vpn vpn) const;
+
+    /**
+     * Write the PTE for @p vpn, allocating the leaf table on demand.
+     * Writing 0 (invalid) never allocates.
+     */
+    void writePte(Vpn vpn, std::uint32_t value);
+
+    /** Physical address of the PTE word for @p vpn; 0 if leaf missing. */
+    PAddr pteAddr(Vpn vpn) const;
+
+    /**
+     * Invoke @p fn for every valid PTE with vpn in [start, end),
+     * skipping whole missing leaf tables (the residual lazy-evaluation
+     * structure knowledge). @p fn may rewrite the PTE via writePte.
+     */
+    void forEachValid(Vpn start, Vpn end,
+                      const std::function<void(Vpn,
+                                               std::uint32_t)> &fn) const;
+
+    /** Count of valid PTEs in [start, end) (skips missing leaves). */
+    unsigned countValid(Vpn start, Vpn end) const;
+
+    /**
+     * Free all leaf tables, invalidating every mapping. The pmap can be
+     * reconstructed from scratch by subsequent page faults (Section 2).
+     */
+    void collect();
+
+    /** Number of leaf tables currently allocated. */
+    unsigned leafCount() const { return leaf_count_; }
+
+  private:
+    std::uint32_t rootEntry(Vpn vpn) const;
+
+    PhysMem *mem_;
+    Pfn root_pfn_;
+    unsigned leaf_count_ = 0;
+};
+
+} // namespace mach::hw
+
+#endif // MACH_HW_PAGE_TABLE_HH

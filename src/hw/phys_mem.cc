@@ -1,0 +1,123 @@
+#include "hw/phys_mem.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace mach::hw
+{
+
+PhysMem::PhysMem(std::uint32_t frames)
+    : total_frames_(frames), frames_(frames)
+{
+    MACH_ASSERT(frames >= 2);
+    free_list_.reserve(frames - 1);
+    // Push high frames first so allocation hands out low PFNs first,
+    // which keeps test output stable and readable.
+    for (Pfn pfn = frames - 1; pfn >= 1; --pfn)
+        free_list_.push_back(pfn);
+}
+
+std::uint32_t
+PhysMem::freeFrames() const
+{
+    return static_cast<std::uint32_t>(free_list_.size());
+}
+
+Pfn
+PhysMem::allocFrame()
+{
+    if (free_list_.empty())
+        panic("PhysMem: out of physical frames (%u total)", total_frames_);
+    Pfn pfn = free_list_.back();
+    free_list_.pop_back();
+    zeroFrame(pfn);
+    return pfn;
+}
+
+void
+PhysMem::freeFrame(Pfn pfn)
+{
+    MACH_ASSERT(validPfn(pfn));
+    frames_[pfn].reset();
+    free_list_.push_back(pfn);
+}
+
+bool
+PhysMem::validPfn(Pfn pfn) const
+{
+    return pfn >= 1 && pfn < total_frames_;
+}
+
+PhysMem::Frame &
+PhysMem::frameFor(PAddr addr)
+{
+    const Pfn pfn = addr >> kPageShift;
+    MACH_ASSERT(pfn < total_frames_);
+    auto &slot = frames_[pfn];
+    if (!slot)
+        slot = std::make_unique<Frame>(kPageSize, 0);
+    return *slot;
+}
+
+const PhysMem::Frame &
+PhysMem::frameFor(PAddr addr) const
+{
+    const Pfn pfn = addr >> kPageShift;
+    MACH_ASSERT(pfn < total_frames_);
+    auto &slot = frames_[pfn];
+    if (!slot)
+        slot = std::make_unique<Frame>(kPageSize, 0);
+    return *slot;
+}
+
+std::uint32_t
+PhysMem::read32(PAddr addr) const
+{
+    MACH_ASSERT((addr & 3) == 0);
+    const Frame &frame = frameFor(addr);
+    std::uint32_t value = 0;
+    std::memcpy(&value, frame.data() + (addr & kPageMask), 4);
+    return value;
+}
+
+void
+PhysMem::write32(PAddr addr, std::uint32_t value)
+{
+    MACH_ASSERT((addr & 3) == 0);
+    Frame &frame = frameFor(addr);
+    std::memcpy(frame.data() + (addr & kPageMask), &value, 4);
+}
+
+std::uint8_t
+PhysMem::read8(PAddr addr) const
+{
+    return frameFor(addr)[addr & kPageMask];
+}
+
+void
+PhysMem::write8(PAddr addr, std::uint8_t value)
+{
+    frameFor(addr)[addr & kPageMask] = value;
+}
+
+void
+PhysMem::copyFrame(Pfn dst, Pfn src)
+{
+    MACH_ASSERT(validPfn(dst) && validPfn(src) && dst != src);
+    Frame &d = frameFor(dst << kPageShift);
+    const Frame &s = frameFor(src << kPageShift);
+    std::copy(s.begin(), s.end(), d.begin());
+}
+
+void
+PhysMem::zeroFrame(Pfn pfn)
+{
+    MACH_ASSERT(pfn < total_frames_);
+    auto &slot = frames_[pfn];
+    if (slot)
+        std::fill(slot->begin(), slot->end(), 0);
+}
+
+} // namespace mach::hw

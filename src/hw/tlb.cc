@@ -1,0 +1,174 @@
+#include "hw/tlb.hh"
+
+#include "base/logging.hh"
+
+namespace mach::hw
+{
+
+Tlb::Tlb(const MachineConfig *config, PhysMem *mem)
+    : config_(config), mem_(mem), entries_(config->tlb_entries)
+{
+}
+
+TlbEntry *
+Tlb::find(SpaceId space, Vpn vpn)
+{
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.space == space && entry.vpn == vpn)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const TlbEntry *
+Tlb::find(SpaceId space, Vpn vpn) const
+{
+    return const_cast<Tlb *>(this)->find(space, vpn);
+}
+
+TlbLookup
+Tlb::lookup(SpaceId space, Vpn vpn, Prot want, PAddr pte_addr)
+{
+    TlbLookup result;
+    TlbEntry *entry = find(space, vpn);
+    if (!entry) {
+        ++misses;
+        return result;
+    }
+
+    ++hits;
+    result.hit = true;
+    result.pfn = entry->pfn;
+    result.prot_ok = protAllows(entry->prot, want);
+    if (!result.prot_ok)
+        return result;
+
+    // Hardware maintenance of reference/modify bits. On the first write
+    // through a cached entry the baseline TLB writes its image of the
+    // PTE back to memory -- blindly, without revalidating it against the
+    // current page-table contents. This is the writeback hazard of
+    // Section 3: if a pmap update is in flight and the responder has not
+    // been stalled, this store can clobber the new PTE.
+    const bool write = protAllows(want, ProtWrite);
+    entry->ref = true;
+    if (write && !entry->mod) {
+        if (config_->tlb_interlocked_refmod && pte_addr != 0) {
+            // MC88200-style interlocked update: re-read the PTE, check
+            // that the mapping is still valid (and still writable --
+            // "the read data must be checked in all cases for mapping
+            // validity"), and OR the bits in rather than overwriting.
+            const std::uint32_t current = mem_->read32(pte_addr);
+            if (!pte::valid(current) || !pte::writable(current) ||
+                pte::pfn(current) != entry->pfn) {
+                // The mapping changed underneath the cached entry: the
+                // access must fault instead of completing.
+                entry->valid = false;
+                result.hit = false;
+                result.prot_ok = false;
+                return result;
+            }
+            mem_->write32(pte_addr,
+                          current | pte::kRef | pte::kMod);
+            entry->mod = true;
+            ++writebacks;
+            result.did_writeback = true;
+        } else {
+            entry->mod = true;
+            if (!config_->tlb_no_refmod_writeback && pte_addr != 0) {
+                mem_->write32(pte_addr,
+                              pte::make(entry->pfn, entry->prot,
+                                        entry->ref, entry->mod));
+                ++writebacks;
+                result.did_writeback = true;
+            }
+        }
+    }
+    return result;
+}
+
+void
+Tlb::insert(SpaceId space, Vpn vpn, Pfn pfn, Prot prot, bool mod)
+{
+    TlbEntry *entry = find(space, vpn);
+    if (!entry) {
+        entry = &entries_[next_victim_];
+        next_victim_ = (next_victim_ + 1) % entries_.size();
+    }
+    entry->valid = true;
+    entry->space = space;
+    entry->vpn = vpn;
+    entry->pfn = pfn;
+    entry->prot = prot;
+    entry->ref = true;
+    entry->mod = mod;
+}
+
+void
+Tlb::invalidatePage(SpaceId space, Vpn vpn)
+{
+    if (TlbEntry *entry = find(space, vpn)) {
+        entry->valid = false;
+        ++single_invalidates;
+    }
+}
+
+void
+Tlb::invalidateRange(SpaceId space, Vpn start, Vpn end)
+{
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.space == space && entry.vpn >= start &&
+            entry.vpn < end) {
+            entry.valid = false;
+            ++single_invalidates;
+        }
+    }
+}
+
+void
+Tlb::flushSpace(SpaceId space)
+{
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.space == space)
+            entry.valid = false;
+    }
+    ++flushes;
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+    ++flushes;
+    ++full_flushes;
+}
+
+bool
+Tlb::cachesSpace(SpaceId space) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.valid && entry.space == space)
+            return true;
+    }
+    return false;
+}
+
+bool
+Tlb::cachesMapping(SpaceId space, Vpn vpn, Prot prot) const
+{
+    const TlbEntry *entry = find(space, vpn);
+    return entry && protAllows(entry->prot, prot);
+}
+
+unsigned
+Tlb::validCount() const
+{
+    unsigned count = 0;
+    for (const auto &entry : entries_) {
+        if (entry.valid)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace mach::hw

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-processor translation lookaside buffer model.
+ *
+ * The baseline TLB has the two features that make software consistency
+ * hard (Section 3):
+ *
+ *   1. Hardware reload: a miss walks the page table in memory and can
+ *      re-cache an entry the moment it is (re)validated -- so flushing
+ *      before the pmap change is useless.
+ *   2. Reference/modify-bit writeback: the first write through a cached
+ *      entry writes the entry's image back to the PTE in memory to set
+ *      the modify bit, which can clobber a concurrent pmap update --
+ *      so flushing cannot simply be postponed until after the change.
+ *
+ * Feature flags on MachineConfig select the Section 9 alternatives:
+ * software reload, no-writeback (RP3), interlocked writeback implied by
+ * no_refmod_writeback handling, remote invalidation (MC88200), and
+ * address-space tags (MIPS R2000).
+ *
+ * Entries are tagged with the owning pmap's identity. Without ASID tags
+ * the TLB is flushed on every address-space switch (as on the Multimax);
+ * with them, entries from many spaces coexist.
+ */
+
+#ifndef MACH_HW_TLB_HH
+#define MACH_HW_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/machine_config.hh"
+#include "hw/page_table.hh"
+
+namespace mach::hw
+{
+
+/** Identifies an address space (one pmap) to the TLB. */
+using SpaceId = std::uint32_t;
+constexpr SpaceId kNoSpace = 0;
+
+/** One cached translation. */
+struct TlbEntry
+{
+    bool valid = false;
+    SpaceId space = kNoSpace;
+    Vpn vpn = 0;
+    Pfn pfn = 0;
+    Prot prot = ProtNone;
+    bool ref = false;
+    bool mod = false;
+};
+
+/** Outcome of a TLB probe. */
+struct TlbLookup
+{
+    bool hit = false;
+    bool prot_ok = false;       ///< Entry allows the requested access.
+    bool did_writeback = false; ///< Hardware wrote ref/mod bits to memory.
+    Pfn pfn = 0;
+};
+
+/** A single processor's TLB. */
+class Tlb
+{
+  public:
+    Tlb(const MachineConfig *config, PhysMem *mem);
+
+    /**
+     * Probe for (space, vpn) wanting @p want access. On a write hit with
+     * the modify bit clear, baseline hardware performs the asynchronous
+     * ref/mod writeback to the PTE at @p pte_addr (clobbering whatever is
+     * there -- the Section 3 hazard) unless tlb_no_refmod_writeback.
+     */
+    TlbLookup lookup(SpaceId space, Vpn vpn, Prot want, PAddr pte_addr);
+
+    /**
+     * Install a translation after a reload (hardware or software). The
+     * replacement policy is round-robin over the entry array.
+     */
+    void insert(SpaceId space, Vpn vpn, Pfn pfn, Prot prot, bool mod);
+
+    /** Invalidate one page's entry for @p space, if cached. */
+    void invalidatePage(SpaceId space, Vpn vpn);
+
+    /** Invalidate entries for [start, end) in @p space. */
+    void invalidateRange(SpaceId space, Vpn start, Vpn end);
+
+    /** Invalidate every entry belonging to @p space. */
+    void flushSpace(SpaceId space);
+
+    /** Invalidate the whole buffer. */
+    void flushAll();
+
+    /** True when any valid entry belongs to @p space. */
+    bool cachesSpace(SpaceId space) const;
+
+    /**
+     * True when an entry for (space, vpn) is cached with at least
+     * @p prot rights (used by consistency-audit tests).
+     */
+    bool cachesMapping(SpaceId space, Vpn vpn, Prot prot) const;
+
+    /** Count of valid entries (diagnostics). */
+    unsigned validCount() const;
+
+    /** Raw entry array (white-box inspection by audits and tests). */
+    const std::vector<TlbEntry> &entries() const { return entries_; }
+
+    // Event counters for benchmarks and tests.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t single_invalidates = 0;
+    /**
+     * Whole-buffer flushes only; serves as the flush epoch the
+     * delayed-flush consistency technique synchronizes against.
+     */
+    std::uint64_t full_flushes = 0;
+
+  private:
+    TlbEntry *find(SpaceId space, Vpn vpn);
+    const TlbEntry *find(SpaceId space, Vpn vpn) const;
+
+    const MachineConfig *config_;
+    PhysMem *mem_;
+    std::vector<TlbEntry> entries_;
+    unsigned next_victim_ = 0;
+};
+
+} // namespace mach::hw
+
+#endif // MACH_HW_TLB_HH

@@ -1,0 +1,156 @@
+#include "kern/cpu.hh"
+
+#include "base/logging.hh"
+#include "kern/machine.hh"
+
+namespace mach::kern
+{
+
+namespace
+{
+/** Idle nap length; idle CPUs are woken by kicks and enqueues. */
+constexpr Tick kIdleNap = 10 * kSec;
+} // namespace
+
+Cpu::Cpu(Machine *machine, CpuId id)
+    : machine_(machine), id_(id), tlb_(&machine->cfg(), &machine->mem())
+{
+}
+
+hw::Spl
+Cpu::setSpl(hw::Spl level)
+{
+    const hw::Spl old = spl_;
+    spl_ = level;
+    if (level < old)
+        pollInterrupts();
+    return old;
+}
+
+void
+Cpu::pollInterrupts()
+{
+    // Only the fiber currently executing on this CPU may poll; events
+    // and other CPUs' fibers interact through kick() instead.
+    for (;;) {
+        const int irq_index = machine_->intr().deliverable(id_, spl_);
+        if (irq_index < 0)
+            return;
+        const auto irq = static_cast<hw::Irq>(irq_index);
+        machine_->intr().clear(id_, irq);
+        ++interrupts_taken;
+
+        // Hardware raises the priority level to the source's own level
+        // while the service routine runs, which blocks further
+        // interrupts from the same source ("responders must disable
+        // further shootdown interrupts while servicing one -- most
+        // hardware does this by default", Section 4).
+        const hw::Spl saved = spl_;
+        spl_ = machine_->cfg().irqPriority(irq);
+
+        // Dispatch overhead: state save (with its natural variation)
+        // plus a handful of shootdown / handler structure accesses that
+        // miss in the write-through cache and pay current bus prices.
+        Tick dispatch = machine_->cfg().intr_dispatch_cost;
+        if (machine_->cfg().intr_dispatch_jitter > 0)
+            dispatch +=
+                machine_->rng().below(machine_->cfg().intr_dispatch_jitter);
+        for (int i = 0; i < 4; ++i)
+            dispatch += machine_->bus().accessCost();
+        advanceNoPoll(dispatch);
+
+        machine_->dispatchIrq(irq, *this);
+
+        advanceNoPoll(machine_->cfg().intr_return_cost);
+        spl_ = saved;
+    }
+}
+
+void
+Cpu::kick()
+{
+    if (sleeping_fiber_ != 0 &&
+        machine_->intr().deliverable(id_, spl_) >= 0) {
+        wakeSleeper();
+    }
+}
+
+void
+Cpu::wakeSleeper()
+{
+    if (sleeping_fiber_ == 0)
+        return;
+    machine_->ctx().cancel(sleep_event_);
+    machine_->ctx().scheduleWake(
+        sleeping_fiber_, machine_->now() + machine_->cfg().ipi_latency);
+    // Leave sleeping_fiber_ set; the sleeper clears it on resume. A
+    // second wake before then is absorbed by the predicate loops.
+    sleeping_fiber_ = 0;
+}
+
+void
+Cpu::preemptibleSleep(Tick dt)
+{
+    sim::Context &ctx = machine_->ctx();
+    if (sleeping_fiber_ != 0) {
+        panic("cpu%u: preemptibleSleep by fiber '%s' while fiber '%s' "
+              "is already registered asleep here",
+              id_, ctx.fiberName(ctx.currentFiber()).c_str(),
+              ctx.fiberName(sleeping_fiber_).c_str());
+    }
+    sleeping_fiber_ = ctx.currentFiber();
+    sleep_event_ = ctx.scheduleWake(sleeping_fiber_, ctx.now() + dt);
+    ctx.block();
+    sleeping_fiber_ = 0;
+    // Cancel in case we were woken by a different (earlier) event and
+    // the original wake is still pending; harmless if already fired.
+    ctx.cancel(sleep_event_);
+    sleep_event_ = {};
+}
+
+void
+Cpu::advance(Tick dt)
+{
+    sim::Context &ctx = machine_->ctx();
+    const Tick deadline = ctx.now() + dt;
+    pollInterrupts();
+    while (ctx.now() < deadline) {
+        preemptibleSleep(deadline - ctx.now());
+        pollInterrupts();
+    }
+}
+
+void
+Cpu::advanceNoPoll(Tick dt)
+{
+    // Loop so that a stale wake event (from an earlier cancelled sleep
+    // or a crossed scheduler wake) cannot shorten the time consumed.
+    sim::Context &ctx = machine_->ctx();
+    const Tick deadline = ctx.now() + dt;
+    while (ctx.now() < deadline)
+        ctx.sleep(deadline - ctx.now());
+}
+
+void
+Cpu::spinOnce()
+{
+    advance(machine_->cfg().spin_quantum + machine_->bus().accessCost());
+}
+
+void
+Cpu::memAccess(unsigned count)
+{
+    Tick total = 0;
+    for (unsigned i = 0; i < count; ++i)
+        total += machine_->bus().accessCost();
+    advance(total);
+}
+
+void
+Cpu::idleWait()
+{
+    preemptibleSleep(kIdleNap);
+    pollInterrupts();
+}
+
+} // namespace mach::kern

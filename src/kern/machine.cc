@@ -1,0 +1,164 @@
+#include "kern/machine.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "kern/sched.hh"
+#include "xpr/xpr.hh"
+
+namespace mach::kern
+{
+
+Machine::Machine(const hw::MachineConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    config_.validate();
+    // Responder sampling can never cover more processors than exist.
+    config_.xpr_responder_cpus =
+        std::min(config_.xpr_responder_cpus, config_.ncpus);
+    mem_ = std::make_unique<hw::PhysMem>(config_.phys_frames);
+    bus_ = std::make_unique<hw::Bus>(&config_);
+    intr_ = std::make_unique<hw::InterruptController>(&config_,
+                                                      config_.ncpus);
+    intr_->setKick([this](CpuId id) { cpu(id).kick(); });
+
+    cpus_.reserve(config_.ncpus);
+    for (CpuId id = 0; id < config_.ncpus; ++id)
+        cpus_.push_back(std::make_unique<Cpu>(this, id));
+
+    xpr_ = std::make_unique<xpr::Buffer>(config_.xpr_capacity);
+    xpr_->setEnabled(config_.xpr_enabled);
+
+    sched_ = std::make_unique<Sched>(this);
+
+    // Default timer service: consume the tick cost and ask the current
+    // thread to reschedule at the next quantum boundary. Occasionally
+    // the tick also runs longer spl-protected kernel housekeeping --
+    // the "varying intervals for which interrupts are disabled; many
+    // short intervals, but few long ones" that give kernel shootdown
+    // times their long tail (Section 8).
+    setIrqHandler(hw::Irq::Timer, [this](Cpu &cpu) {
+        Tick service = config_.timer_service_cost;
+        if (rng_.chance(0.03))
+            service += Tick(rng_.exponential(2500.0) * kUsec);
+        if (config_.consistency_strategy ==
+            hw::ConsistencyStrategy::DelayedFlush) {
+            // Technique 2: the periodic tick flushes the whole TLB so
+            // that pending mapping changes eventually become safe.
+            cpu.tlb().flushAll();
+            service += config_.tlb_flush_cost;
+        }
+        cpu.advance(service);
+        cpu.need_resched = true;
+    });
+}
+
+Machine::~Machine() = default;
+
+Cpu &
+Machine::cpu(CpuId id)
+{
+    MACH_ASSERT(id < cpus_.size());
+    return *cpus_[id];
+}
+
+void
+Machine::setIrqHandler(hw::Irq irq, IrqHandler handler)
+{
+    irq_handlers_[static_cast<unsigned>(irq)] = std::move(handler);
+}
+
+void
+Machine::dispatchIrq(hw::Irq irq, Cpu &cpu)
+{
+    IrqHandler &handler = irq_handlers_[static_cast<unsigned>(irq)];
+    if (!handler) {
+        warn("unhandled interrupt %u on cpu %u",
+             static_cast<unsigned>(irq), cpu.id());
+        return;
+    }
+    handler(cpu);
+}
+
+void
+Machine::setFaultHandler(FaultHandler handler)
+{
+    fault_handler_ = std::move(handler);
+}
+
+bool
+Machine::handleFault(Thread &thread, VAddr va, Prot want)
+{
+    if (!fault_handler_)
+        panic("page fault at 0x%08x with no VM system installed", va);
+    return fault_handler_(thread, va, want);
+}
+
+int
+Machine::poolOfKernelVpn(Vpn vpn) const
+{
+    const unsigned pools = config_.kernel_pools;
+    if (pools <= 1)
+        return -1;
+    const Vpn lo = vaToVpn(kKernelBase);
+    const Vpn hi = vaToVpn(kKernelHi);
+    if (vpn < lo || vpn >= hi)
+        return -1;
+    const Vpn slice = (hi - lo) / pools;
+    const int pool = static_cast<int>((vpn - lo) / slice);
+    return pool < static_cast<int>(pools) ? pool : -1;
+}
+
+void
+Machine::setSpaceSwitchHook(SpaceSwitchHook hook)
+{
+    space_switch_ = std::move(hook);
+}
+
+void
+Machine::switchSpace(Cpu &cpu, Thread &from, Thread &to)
+{
+    if (space_switch_)
+        space_switch_(cpu, from, to);
+}
+
+void
+Machine::startTimers()
+{
+    if (config_.timer_period == 0 || timers_on_)
+        return;
+    timers_on_ = true;
+    for (CpuId id = 0; id < ncpus(); ++id) {
+        // Stagger ticks so the CPUs' timers do not beat in lockstep.
+        const Tick offset =
+            config_.timer_period * (id + 1) / (ncpus() + 1);
+        ctx_.scheduleCall(now() + offset, [this, id] { timerTick(id); });
+    }
+}
+
+void
+Machine::stopTimers()
+{
+    timers_on_ = false;
+}
+
+void
+Machine::timerTick(CpuId id)
+{
+    if (!timers_on_)
+        return;
+    Cpu &target = cpu(id);
+    // Tickless idle: parked processors take no scheduler interrupts.
+    if (!target.idle)
+        intr_->post(id, hw::Irq::Timer);
+    ctx_.scheduleCall(now() + config_.timer_period,
+                      [this, id] { timerTick(id); });
+}
+
+std::uint64_t
+Machine::run(Tick until)
+{
+    return ctx_.run(until);
+}
+
+} // namespace mach::kern

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The simulated multiprocessor: CPUs, bus, memory, interrupt controller,
+ * scheduler, and the registration points where the pmap and VM layers
+ * plug in (fault handler, IRQ handlers, kernel pmap).
+ *
+ * Layering: kern knows nothing about the pmap module or the VM system
+ * beyond opaque pointers and callbacks, mirroring Mach's separation of
+ * machine-dependent from machine-independent code (Section 2).
+ */
+
+#ifndef MACH_KERN_MACHINE_HH
+#define MACH_KERN_MACHINE_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "hw/bus.hh"
+#include "hw/intr.hh"
+#include "hw/machine_config.hh"
+#include "hw/phys_mem.hh"
+#include "kern/cpu.hh"
+#include "sim/context.hh"
+
+namespace mach::pmap
+{
+class Pmap;
+class PmapSystem;
+} // namespace mach::pmap
+
+namespace mach::xpr
+{
+class Buffer;
+} // namespace mach::xpr
+
+namespace mach::kern
+{
+
+class Sched;
+class Thread;
+
+/** One simulated multiprocessor. */
+class Machine
+{
+  public:
+    explicit Machine(const hw::MachineConfig &config);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const hw::MachineConfig &cfg() const { return config_; }
+
+    sim::Context &ctx() { return ctx_; }
+    hw::PhysMem &mem() { return *mem_; }
+    hw::Bus &bus() { return *bus_; }
+    hw::InterruptController &intr() { return *intr_; }
+    Sched &sched() { return *sched_; }
+    Rng &rng() { return rng_; }
+    xpr::Buffer &xpr() { return *xpr_; }
+
+    unsigned ncpus() const { return static_cast<unsigned>(cpus_.size()); }
+    Cpu &cpu(CpuId id);
+
+    Tick now() const { return ctx_.now(); }
+
+    // ---- Interrupt dispatch -----------------------------------------
+
+    using IrqHandler = std::function<void(Cpu &)>;
+
+    /** Install the service routine for an interrupt source. */
+    void setIrqHandler(hw::Irq irq, IrqHandler handler);
+
+    /** Invoke the handler for @p irq on @p cpu (from Cpu::poll). */
+    void dispatchIrq(hw::Irq irq, Cpu &cpu);
+
+    // ---- VM plug-in points -------------------------------------------
+
+    /**
+     * Page-fault upcall: resolve a fault at @p va for @p want rights on
+     * behalf of @p thread. Returns true when the translation was
+     * (re)established and the access should be retried; false for an
+     * unrecoverable fault.
+     */
+    using FaultHandler = std::function<bool(Thread &, VAddr, Prot)>;
+
+    void setFaultHandler(FaultHandler handler);
+    bool handleFault(Thread &thread, VAddr va, Prot want);
+
+    /**
+     * Address-space switch upcall, invoked by the scheduler whenever a
+     * CPU switches between threads of different tasks; the VM layer
+     * installs a hook that performs pmap deactivate/activate (and the
+     * context-switch TLB flush on hardware without address-space tags).
+     */
+    using SpaceSwitchHook = std::function<void(Cpu &, Thread &, Thread &)>;
+
+    void setSpaceSwitchHook(SpaceSwitchHook hook);
+    void switchSpace(Cpu &cpu, Thread &from, Thread &to);
+
+    /** The kernel pmap (set once by the pmap system at bring-up). */
+    pmap::Pmap *kernel_pmap = nullptr;
+    /** The pmap system owning shootdown state (set at bring-up). */
+    pmap::PmapSystem *pmap_sys = nullptr;
+
+    /** First virtual address belonging to the shared kernel space. */
+    static constexpr VAddr kKernelBase = 0xc0000000u;
+    /** End of the kernel space (exclusive). */
+    static constexpr VAddr kKernelHi = 0xfffff000u;
+
+    /** Processor pool of @p id under the Section 8 restructuring. */
+    unsigned poolOfCpu(CpuId id) const
+    {
+        return id / (ncpus() / config_.kernel_pools);
+    }
+
+    /**
+     * Pool owning kernel virtual page @p vpn, or -1 when the address
+     * does not fall squarely into one pool's kmem slice (such ranges
+     * are treated as machine-global).
+     */
+    int poolOfKernelVpn(Vpn vpn) const;
+
+    /** Begin periodic timer interrupts on all CPUs (if configured). */
+    void startTimers();
+    /** Stop scheduling further timer ticks (lets run() drain). */
+    void stopTimers();
+
+    /** Drive simulation until @p until or until the event queue drains. */
+    std::uint64_t run(Tick until = ~Tick{0});
+
+  private:
+    void timerTick(CpuId id);
+
+    hw::MachineConfig config_;
+    sim::Context ctx_;
+    Rng rng_;
+    std::unique_ptr<hw::PhysMem> mem_;
+    std::unique_ptr<hw::Bus> bus_;
+    std::unique_ptr<hw::InterruptController> intr_;
+    std::vector<std::unique_ptr<Cpu>> cpus_;
+    std::unique_ptr<Sched> sched_;
+    std::unique_ptr<xpr::Buffer> xpr_;
+    std::array<IrqHandler, hw::kNumIrqs> irq_handlers_{};
+    FaultHandler fault_handler_;
+    SpaceSwitchHook space_switch_;
+    bool timers_on_ = false;
+};
+
+} // namespace mach::kern
+
+#endif // MACH_KERN_MACHINE_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Kernel-scheduled threads.
+ *
+ * A Thread wraps a fiber plus scheduling state. Workload code runs in
+ * the thread body and consumes simulated time through the CPU the
+ * thread is currently dispatched on. All memory within a task's address
+ * space is shared among its threads, which may execute in parallel on
+ * multiple simulated CPUs (Section 2) -- that parallelism is what makes
+ * user-pmap TLB consistency a problem worth solving.
+ */
+
+#ifndef MACH_KERN_THREAD_HH
+#define MACH_KERN_THREAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "kern/cpu.hh"
+#include "sim/context.hh"
+
+namespace mach::vm
+{
+class Task;
+} // namespace mach::vm
+
+namespace mach::kern
+{
+
+class Machine;
+class Sched;
+
+/** Run states of a thread. */
+enum class ThreadState : std::uint8_t
+{
+    Embryo,    ///< Created, never yet dispatched.
+    Runnable,  ///< On a run queue.
+    Running,   ///< Currently dispatched on a CPU.
+    Blocked,   ///< Waiting (sleep, I/O, join).
+    Done,      ///< Body returned.
+};
+
+/** A kernel thread. */
+class Thread
+{
+  public:
+    using Body = std::function<void(Thread &)>;
+
+    /**
+     * Create a thread; it does not run until Sched::start() is called.
+     * @p task may be null for pure kernel service threads.
+     */
+    Thread(Machine *machine, vm::Task *task, std::string name, Body body);
+
+    const std::string &name() const { return name_; }
+    vm::Task *task() { return task_; }
+    Machine &machine() { return *machine_; }
+    ThreadState state() const { return state_; }
+
+    /** The CPU this thread is dispatched on; panics unless Running. */
+    Cpu &cpu();
+
+    /** True when this is a CPU's idle thread. */
+    bool isIdle() const { return is_idle_; }
+
+    // ---- Callable from within the thread body ------------------------
+
+    /**
+     * Compute for @p dt of simulated time. Takes interrupts, and yields
+     * the CPU to equal-priority runnable threads at quantum boundaries,
+     * so long computations timeshare fairly.
+     */
+    void compute(Tick dt);
+
+    /** Block for @p dt, releasing the CPU (a timed sleep, not a spin). */
+    void sleep(Tick dt);
+
+    /** Give up the CPU if another thread is runnable on it. */
+    void yield();
+
+    /** Block until @p other has terminated. */
+    void join(Thread &other);
+
+    /**
+     * Data access to the current address space (user addresses resolve
+     * through the task pmap, kernel addresses through the kernel pmap).
+     */
+    AccessResult access(VAddr va, Prot want) { return cpu().access(va, want); }
+
+    /** Convenience: 32-bit load/store through the full MMU path. */
+    bool load32(VAddr va, std::uint32_t *out);
+    bool store32(VAddr va, std::uint32_t value);
+
+  private:
+    friend class Sched;
+
+    Machine *machine_;
+    vm::Task *task_;
+    std::string name_;
+    Body body_;
+    ThreadState state_ = ThreadState::Embryo;
+    Cpu *cpu_ = nullptr;
+    sim::FiberId fiber_ = 0;
+    bool is_idle_ = false;
+    /** Preferred CPU (-1 = any); used by the tester to pin threads. */
+    std::int64_t affinity_ = -1;
+    Tick quantum_used_ = 0;
+    std::vector<Thread *> joiners_;
+};
+
+} // namespace mach::kern
+
+#endif // MACH_KERN_THREAD_HH

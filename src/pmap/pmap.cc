@@ -1,0 +1,513 @@
+#include "pmap/pmap.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "base/trace.hh"
+#include "kern/sched.hh"
+#include "pmap/shootdown.hh"
+#include "xpr/xpr.hh"
+
+namespace mach::pmap
+{
+
+// ---------------------------------------------------------------------
+// Pmap
+// ---------------------------------------------------------------------
+
+Pmap::Pmap(PmapSystem *sys, bool is_kernel)
+    : sys_(sys), is_kernel_(is_kernel), space_(sys->next_space_++),
+      table_(&sys->machine().mem()),
+      lock_(is_kernel ? "kernel-pmap" : "user-pmap", hw::SplHigh),
+      in_use_(sys->machine().ncpus(), false)
+{
+    sys_->spaces_[space_] = this;
+}
+
+Pmap::~Pmap()
+{
+    // Host-level teardown (no simulated time): drop pv entries that
+    // still reference this pmap, scrub any consistency actions queued
+    // against it (e.g. on idle processors), and invalidate any TLB
+    // entries tagged with its space so no stale state dangles.
+    if (low_water_ < high_water_) {
+        table_.forEachValid(low_water_, high_water_,
+                            [this](Vpn vpn, std::uint32_t entry) {
+                                sys_->pvRemove(hw::pte::pfn(entry), this,
+                                               vpn);
+                            });
+    }
+    sys_->shoot().purgePmap(this);
+    for (CpuId id = 0; id < sys_->machine().ncpus(); ++id) {
+        sys_->machine().cpu(id).tlb().flushSpace(space_);
+        if (sys_->machine().cpu(id).cur_pmap == this)
+            sys_->machine().cpu(id).cur_pmap = nullptr;
+    }
+    sys_->spaces_.erase(space_);
+}
+
+bool
+Pmap::othersUsing(CpuId self) const
+{
+    for (CpuId id = 0; id < in_use_.size(); ++id) {
+        if (id != self && in_use_[id])
+            return true;
+    }
+    return false;
+}
+
+unsigned
+Pmap::useCount() const
+{
+    unsigned count = 0;
+    for (bool used : in_use_) {
+        if (used)
+            ++count;
+    }
+    return count;
+}
+
+void
+Pmap::activate(kern::Cpu &cpu)
+{
+    in_use_[cpu.id()] = true;
+    cpu.cur_pmap = this;
+}
+
+void
+Pmap::deactivate(kern::Cpu &cpu)
+{
+    if (cpu.cur_pmap == this)
+        cpu.cur_pmap = nullptr;
+    if (sys_->machine().cfg().tlb_asid_tags) {
+        // Section 10 extension: entries survive the context switch, so
+        // the pmap remains in use here until explicitly flushed by a
+        // later consistency action.
+        return;
+    }
+    // Multimax behaviour: the TLB is flushed on context switch, so no
+    // entries for this space survive.
+    cpu.tlb().flushAll();
+    in_use_[cpu.id()] = false;
+}
+
+bool
+Pmap::mayBeCached(kern::Cpu &cpu, Vpn start, Vpn end,
+                  unsigned *mapped_pages)
+{
+    const hw::MachineConfig &cfg = sys_->machine().cfg();
+    if (cfg.lazy_evaluation) {
+        // The full lazy-evaluation check: TLBs cannot cache invalid
+        // mappings, so a range with no valid PTEs needs no shootdown.
+        const unsigned mapped = table_.countValid(start, end);
+        cpu.advanceNoPoll(cfg.lazy_check_cost_per_page * (mapped + 1));
+        *mapped_pages = mapped;
+        return mapped > 0;
+    }
+
+    // Lazy evaluation disabled (the Table 1 experiment): only the
+    // residual structure knowledge remains -- a missing second-level
+    // table means an entire page of PTEs is missing, so whole-leaf
+    // holes are still skipped.
+    *mapped_pages = end - start;
+    constexpr Vpn leaf_span = hw::PageTable::kPagesPerLeaf;
+    for (Vpn vpn = start; vpn < end;
+         vpn = (vpn / leaf_span + 1) * leaf_span) {
+        if (table_.leafPresent(vpn))
+            return true;
+    }
+    return false;
+}
+
+template <typename Fn>
+void
+Pmap::updateMappings(kern::Thread &thread, Vpn start, Vpn end,
+                     bool reduces, Fn &&change)
+{
+    kern::Cpu &cpu = thread.cpu();
+    const hw::MachineConfig &cfg = sys_->machine().cfg();
+
+    // Figure 1 prologue: s = disable_interrupts(); active[mycpu] =
+    // FALSE; lock_pmap(pmap). Leaving the active set before spinning on
+    // the lock is what makes concurrent initiators deadlock-free.
+    const hw::Spl saved = cpu.setSpl(hw::SplHigh);
+    cpu.active = false;
+    lock_.rawLock(cpu);
+    cpu.advanceNoPoll(cfg.pmap_op_base_cost);
+    ++ops;
+
+    bool need_consistency = reduces && cfg.shootdown_enabled;
+    unsigned mapped = 0;
+    if (need_consistency) {
+        need_consistency = mayBeCached(cpu, start, end, &mapped);
+        if (!need_consistency) {
+            ++shootdowns_avoided_lazy;
+            MACH_TRACE_LOG(Pmap, sys_->machine().now(),
+                           "cpu%u: lazy evaluation skips consistency "
+                           "actions for vpn [0x%x,0x%x)",
+                           cpu.id(), start, end);
+        }
+    }
+
+    const bool delayed =
+        cfg.consistency_strategy ==
+        hw::ConsistencyStrategy::DelayedFlush;
+
+    // On baseline (and software-reload) hardware the consistency
+    // actions precede the change; on remote-invalidate or postponed-
+    // interrupt hardware they must follow it (see
+    // ShootdownController::invalidateAfterChange).
+    const bool after = sys_->shoot().invalidateAfterChange();
+    auto consistency_actions = [&] {
+        if (in_use_[cpu.id()])
+            sys_->shoot().invalidateLocal(cpu, space_, start, end);
+        if (othersUsing(cpu.id())) {
+            ++shootdowns_initiated;
+            sys_->shoot().shoot(cpu, *this, start, end, mapped);
+        }
+    };
+
+    ShootdownController::FlushSnapshot snapshot;
+    if (need_consistency && delayed) {
+        // Technique 2: invalidate locally, remember every other
+        // user's flush epoch, and wait (after the change, outside the
+        // lock) for timer-driven flushes to catch up.
+        if (in_use_[cpu.id()])
+            sys_->shoot().invalidateLocal(cpu, space_, start, end);
+        snapshot = sys_->shoot().snapshotFlushes(cpu, *this);
+    } else if (need_consistency && !after) {
+        consistency_actions();
+    }
+
+    // Phase 3: make changes to the physical map.
+    change(cpu);
+
+    if (need_consistency && !delayed && after)
+        consistency_actions();
+
+    lock_.rawUnlock(cpu);
+    cpu.active = true;
+    // Restoring the interrupt state services any shootdown queued at us
+    // while we were initiating ("the interrupts will be acted upon
+    // before performing any memory references that may use inconsistent
+    // TLB entries").
+    cpu.setSpl(saved);
+
+    if (need_consistency && delayed && !snapshot.empty()) {
+        ++shootdowns_initiated;
+        sys_->shoot().delayedFlushWait(thread, *this, snapshot, mapped);
+    }
+}
+
+void
+Pmap::enter(kern::Thread &thread, Vpn vpn, Pfn pfn, Prot prot, bool wired)
+{
+    (void)wired;
+    const std::uint32_t old = table_.readPte(vpn);
+    const bool reduces =
+        hw::pte::valid(old) && (hw::pte::pfn(old) != pfn ||
+                                protReduces(hw::pte::prot(old), prot));
+
+    updateMappings(thread, vpn, vpn + 1, reduces, [&](kern::Cpu &cpu) {
+        const std::uint32_t cur = table_.readPte(vpn);
+        cpu.memAccess(2);
+        bool ref = false, mod = false;
+        if (hw::pte::valid(cur)) {
+            if (hw::pte::pfn(cur) != pfn) {
+                sys_->pvRemove(hw::pte::pfn(cur), this, vpn);
+                sys_->pvAdd(pfn, this, vpn);
+            } else {
+                ref = hw::pte::referenced(cur);
+                mod = hw::pte::modified(cur);
+            }
+        } else {
+            sys_->pvAdd(pfn, this, vpn);
+        }
+        table_.writePte(vpn, hw::pte::make(pfn, prot, ref, mod));
+        // Drop any stale local entry so the retried access reloads the
+        // new PTE instead of re-faulting on the cached one.
+        cpu.tlb().invalidatePage(space_, vpn);
+
+        if (vpn < low_water_)
+            low_water_ = vpn;
+        if (vpn >= high_water_)
+            high_water_ = vpn + 1;
+    });
+}
+
+void
+Pmap::remove(kern::Thread &thread, Vpn start, Vpn end)
+{
+    updateMappings(thread, start, end, true, [&](kern::Cpu &cpu) {
+        table_.forEachValid(start, end,
+                            [&](Vpn vpn, std::uint32_t entry) {
+                                cpu.memAccess(2);
+                                sys_->pvRemove(hw::pte::pfn(entry), this,
+                                               vpn);
+                                table_.writePte(vpn, 0);
+                            });
+    });
+}
+
+void
+Pmap::protect(kern::Thread &thread, Vpn start, Vpn end, Prot prot)
+{
+    if (prot == ProtNone) {
+        remove(thread, start, end);
+        return;
+    }
+    // Only the removal of write permission can strand inconsistent
+    // entries; additions of permission are repaired lazily by faults.
+    const bool reduces = !protAllows(prot, ProtWrite);
+
+    updateMappings(thread, start, end, reduces, [&](kern::Cpu &cpu) {
+        table_.forEachValid(
+            start, end, [&](Vpn vpn, std::uint32_t entry) {
+                cpu.memAccess(2);
+                table_.writePte(
+                    vpn, hw::pte::make(hw::pte::pfn(entry), prot,
+                                       hw::pte::referenced(entry),
+                                       hw::pte::modified(entry)));
+                cpu.tlb().invalidatePage(space_, vpn);
+            });
+    });
+}
+
+bool
+Pmap::pageProtect(PmapSystem &sys, kern::Thread &thread, Pfn pfn,
+                  Prot prot)
+{
+    // Copy the pv list: removals mutate it underneath us.
+    const std::vector<PvEntry> mappings = sys.pvList(pfn);
+    bool was_modified = false;
+    for (const PvEntry &pv : mappings) {
+        const std::uint32_t entry = pv.pmap->table_.readPte(pv.vpn);
+        if (hw::pte::modified(entry))
+            was_modified = true;
+        if (prot == ProtNone)
+            pv.pmap->remove(thread, pv.vpn, pv.vpn + 1);
+        else
+            pv.pmap->protect(thread, pv.vpn, pv.vpn + 1, prot);
+    }
+    return was_modified;
+}
+
+void
+Pmap::collect(kern::Thread &thread)
+{
+    if (low_water_ >= high_water_)
+        return; // Nothing was ever entered.
+    const Vpn start = low_water_;
+    const Vpn end = high_water_;
+    updateMappings(thread, start, end, true, [&](kern::Cpu &cpu) {
+        table_.forEachValid(start, end,
+                            [&](Vpn vpn, std::uint32_t entry) {
+                                cpu.memAccess(1);
+                                sys_->pvRemove(hw::pte::pfn(entry), this,
+                                               vpn);
+                            });
+        table_.collect();
+        low_water_ = ~Vpn{0};
+        high_water_ = 0;
+    });
+}
+
+// ---------------------------------------------------------------------
+// PmapSystem
+// ---------------------------------------------------------------------
+
+PmapSystem::PmapSystem(kern::Machine &machine) : machine_(machine)
+{
+    shoot_ = std::make_unique<ShootdownController>(*this);
+    kernel_pmap_ = std::unique_ptr<Pmap>(new Pmap(this, true));
+    // The kernel is a multi-threaded task potentially executing on all
+    // processors, so its pmap is permanently in use everywhere.
+    for (CpuId id = 0; id < machine_.ncpus(); ++id)
+        kernel_pmap_->in_use_[id] = true;
+    machine_.kernel_pmap = kernel_pmap_.get();
+    machine_.pmap_sys = this;
+}
+
+PmapSystem::~PmapSystem()
+{
+    kernel_pmap_.reset();
+    machine_.kernel_pmap = nullptr;
+    machine_.pmap_sys = nullptr;
+}
+
+std::unique_ptr<Pmap>
+PmapSystem::createPmap()
+{
+    return std::unique_ptr<Pmap>(new Pmap(this, false));
+}
+
+void
+PmapSystem::pvAdd(Pfn pfn, Pmap *pmap, Vpn vpn)
+{
+    pv_[pfn].push_back({pmap, vpn});
+}
+
+void
+PmapSystem::pvRemove(Pfn pfn, Pmap *pmap, Vpn vpn)
+{
+    auto it = pv_.find(pfn);
+    if (it == pv_.end())
+        return;
+    auto &list = it->second;
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const PvEntry &pv) {
+                                  return pv.pmap == pmap && pv.vpn == vpn;
+                              }),
+               list.end());
+    if (list.empty())
+        pv_.erase(it);
+}
+
+const std::vector<PvEntry> &
+PmapSystem::pvList(Pfn pfn) const
+{
+    auto it = pv_.find(pfn);
+    return it == pv_.end() ? empty_pv_ : it->second;
+}
+
+Pmap *
+PmapSystem::pmapForSpace(hw::SpaceId space) const
+{
+    auto it = spaces_.find(space);
+    return it == spaces_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string>
+PmapSystem::auditTlbConsistency() const
+{
+    std::vector<std::string> violations;
+    char buf[160];
+    for (CpuId id = 0; id < machine_.ncpus(); ++id) {
+        kern::Cpu &cpu = const_cast<kern::Machine &>(machine_).cpu(id);
+        // A processor with consistency actions still queued (typically
+        // an idle one, which receives no interrupts) may legitimately
+        // hold stale entries: the algorithm guarantees it will drain
+        // the queue before performing any translation.
+        if (shoot_->stateFor(id).action_needed)
+            continue;
+        for (const hw::TlbEntry &entry : cpu.tlb().entries()) {
+            if (!entry.valid)
+                continue;
+            const Pmap *pmap = pmapForSpace(entry.space);
+            if (pmap == nullptr) {
+                std::snprintf(buf, sizeof(buf),
+                              "cpu%u caches vpn 0x%x for a destroyed "
+                              "space %u",
+                              id, entry.vpn, entry.space);
+                violations.emplace_back(buf);
+                continue;
+            }
+            const std::uint32_t pte = pmap->table().readPte(entry.vpn);
+            if (!hw::pte::valid(pte) ||
+                hw::pte::pfn(pte) != entry.pfn ||
+                !protAllows(hw::pte::prot(pte), entry.prot)) {
+                std::snprintf(buf, sizeof(buf),
+                              "cpu%u caches vpn 0x%x space %u prot %u "
+                              "pfn %u but PTE is 0x%08x",
+                              id, entry.vpn, entry.space,
+                              static_cast<unsigned>(entry.prot),
+                              entry.pfn, pte);
+                violations.emplace_back(buf);
+            }
+        }
+    }
+    return violations;
+}
+
+} // namespace mach::pmap
+
+// ---------------------------------------------------------------------
+// The MMU access path. This lives in the pmap module because address
+// translation is machine-dependent: kern::Cpu declares the interface,
+// the pmap module implements it (just as Mach's pmap module owned all
+// hardware translation knowledge).
+// ---------------------------------------------------------------------
+
+namespace mach::kern
+{
+
+pmap::Pmap *
+Cpu::pmapFor(VAddr va)
+{
+    if (va >= Machine::kKernelBase)
+        return machine_->kernel_pmap;
+    return cur_pmap;
+}
+
+AccessResult
+Cpu::access(VAddr va, Prot want)
+{
+    const hw::MachineConfig &cfg = machine_->cfg();
+    const Vpn vpn = vaToVpn(va);
+
+    // The fault path below can block (map locks, pagein) and the
+    // thread may be rescheduled onto a different processor, so the
+    // executing CPU is re-fetched on every iteration -- the retried
+    // probe must hit the TLB of the processor we are *now* on.
+    MACH_ASSERT(cur_thread != nullptr);
+    kern::Thread *thread = cur_thread;
+
+    for (int attempt = 0; attempt < 256; ++attempt) {
+        Cpu &here = thread->cpu();
+        pmap::Pmap *pm = here.pmapFor(va);
+        if (!pm)
+            return {};
+
+        here.advance(cfg.tlb_lookup_cost);
+        const PAddr pte_addr = pm->table().pteAddr(vpn);
+        const hw::TlbLookup look =
+            here.tlb_.lookup(pm->space(), vpn, want, pte_addr);
+        if (look.hit && look.prot_ok) {
+            return {true,
+                    (look.pfn << kPageShift) | (va & kPageMask)};
+        }
+
+        if (!look.hit) {
+            if (cfg.tlb_software_reload) {
+                // Software reload (MIPS style): the miss handler checks
+                // whether the pmap is being modified and stalls only in
+                // that case -- this is what lets responders return
+                // immediately instead of spinning (Section 9).
+                while (pm->locked())
+                    here.spinOnce();
+            }
+            const hw::WalkResult walk = pm->table().walk(vpn);
+            here.memAccess(walk.memory_reads);
+            here.advance(cfg.tlb_reload_cost_per_level *
+                         walk.memory_reads);
+
+            const Prot pte_prot = hw::pte::prot(walk.pte);
+            if (hw::pte::valid(walk.pte) && protAllows(pte_prot, want)) {
+                const bool writing = protAllows(want, ProtWrite);
+                // Hardware maintains the referenced (and, for a write,
+                // modified) bit in the PTE as part of the reload.
+                if (!cfg.tlb_no_refmod_writeback) {
+                    std::uint32_t updated = walk.pte | hw::pte::kRef;
+                    if (writing)
+                        updated |= hw::pte::kMod;
+                    const PAddr addr = pm->table().pteAddr(vpn);
+                    if (addr != 0)
+                        machine_->mem().write32(addr, updated);
+                }
+                here.tlb_.insert(pm->space(), vpn,
+                                 hw::pte::pfn(walk.pte), pte_prot,
+                                 writing);
+                continue; // Retry; the next probe hits.
+            }
+        }
+
+        // Translation absent or insufficient: page fault.
+        ++here.faults_taken;
+        if (!machine_->handleFault(*thread, va, want))
+            return {};
+    }
+    panic("Cpu::access: unresolvable fault loop at va 0x%08x", va);
+}
+
+} // namespace mach::kern

@@ -1,0 +1,439 @@
+#include "pmap/shootdown.hh"
+
+#include "base/logging.hh"
+#include "base/trace.hh"
+#include "hw/bus.hh"
+#include "kern/cpu.hh"
+#include "kern/machine.hh"
+#include "kern/sched.hh"
+#include "pmap/pmap.hh"
+#include "xpr/xpr.hh"
+
+namespace mach::pmap
+{
+
+ShootdownController::ShootdownController(PmapSystem &sys)
+    : sys_(sys), machine_(sys.machine())
+{
+    state_.reserve(machine_.ncpus());
+    for (CpuId id = 0; id < machine_.ncpus(); ++id)
+        state_.push_back(std::make_unique<CpuShootState>());
+
+    machine_.setIrqHandler(hw::Irq::Shootdown,
+                           [this](kern::Cpu &cpu) { respond(cpu); });
+    machine_.sched().setIdleExitHook(
+        [this](kern::Cpu &cpu) { idleExit(cpu); });
+}
+
+bool
+ShootdownController::invalidateAfterChange() const
+{
+    const hw::MachineConfig &cfg = machine_.cfg();
+    const bool writeback_safe =
+        cfg.tlb_no_refmod_writeback || cfg.tlb_interlocked_refmod;
+    return cfg.tlb_remote_invalidate ||
+           (writeback_safe && !cfg.tlb_software_reload);
+}
+
+bool
+ShootdownController::responderMustStall() const
+{
+    // The stall exists because hardware reload can re-cache entries
+    // mid-update and because the TLB writes ref/mod bits back to the
+    // PTE. Either Section 9 remedy removes the need for it.
+    const hw::MachineConfig &cfg = machine_.cfg();
+    return !(cfg.tlb_software_reload || cfg.tlb_no_refmod_writeback ||
+             cfg.tlb_interlocked_refmod);
+}
+
+void
+ShootdownController::invalidateLocal(kern::Cpu &cpu, hw::SpaceId space,
+                                     Vpn start, Vpn end)
+{
+    const hw::MachineConfig &cfg = machine_.cfg();
+    const unsigned npages = end - start;
+    if (cfg.virtual_cache) {
+        // VMP-style mapping invalidation: an exhaustive software
+        // search of the whole cache directory, whatever the range.
+        cpu.tlb().invalidateRange(space, start, end);
+        cpu.advanceNoPoll(cfg.vc_search_cost_per_line *
+                          cfg.tlb_entries);
+        return;
+    }
+    if (npages > cfg.tlb_flush_threshold) {
+        // Beyond the threshold a full buffer flush is cheaper than
+        // individual invalidates (Section 4, omitted detail 1).
+        cpu.tlb().flushAll();
+        cpu.advanceNoPoll(cfg.tlb_flush_cost);
+    } else {
+        cpu.tlb().invalidateRange(space, start, end);
+        cpu.advanceNoPoll(cfg.tlb_invalidate_cost * npages);
+    }
+}
+
+void
+ShootdownController::queueAction(kern::Cpu &self, CpuId target,
+                                 Pmap &pmap, Vpn start, Vpn end)
+{
+    const hw::MachineConfig &cfg = machine_.cfg();
+    CpuShootState &st = *state_[target];
+    st.action_lock.rawLock(self);
+    if (st.queue.size() >= cfg.action_queue_size) {
+        // Overflowing queues escalate to a full TLB flush; the queue is
+        // sized so this only happens when the responder would flush the
+        // whole buffer anyway (Section 4, omitted detail 2).
+        st.overflow = true;
+        ++queue_overflows;
+    } else {
+        st.queue.push_back({&pmap, start, end});
+    }
+    st.action_needed = true;
+    self.memAccess(2);
+    st.action_lock.rawUnlock(self);
+}
+
+void
+ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
+                           Vpn end, unsigned mapped_pages)
+{
+    const hw::MachineConfig &cfg = machine_.cfg();
+    hw::InterruptController &intr = machine_.intr();
+    const Tick t_begin = machine_.now();
+    ++initiated;
+    self.advanceNoPoll(cfg.shootdown_setup_cost);
+
+    // ---- Section 9 option: TLBs supporting remote invalidation ------
+    // The initiator shoots the entries directly out of the responders'
+    // TLBs; no interrupts, no synchronization, no responder overhead.
+    if (cfg.tlb_remote_invalidate) {
+        int remote_pool = -1;
+        if (pmap.isKernel() && cfg.kernel_pools > 1) {
+            const int lo_pool = machine_.poolOfKernelVpn(start);
+            if (lo_pool >= 0 &&
+                lo_pool == machine_.poolOfKernelVpn(end - 1)) {
+                remote_pool = lo_pool;
+            }
+        }
+        unsigned shot = 0;
+        for (CpuId id = 0; id < machine_.ncpus(); ++id) {
+            if (id == self.id() || !pmap.inUse(id))
+                continue;
+            if (remote_pool >= 0 &&
+                machine_.poolOfCpu(id) !=
+                    static_cast<unsigned>(remote_pool)) {
+                continue;
+            }
+            self.advanceNoPoll(cfg.remote_invalidate_cost);
+            hw::Tlb &remote = machine_.cpu(id).tlb();
+            if (end - start > cfg.tlb_flush_threshold)
+                remote.flushSpace(pmap.space());
+            else
+                remote.invalidateRange(pmap.space(), start, end);
+            ++remote_invalidates;
+            ++shot;
+        }
+        if (cfg.xpr_enabled) {
+            const Tick elapsed = machine_.now() - t_begin;
+            self.advanceNoPoll(cfg.xpr_record_cost);
+            machine_.xpr().record({xpr::EventKind::ShootInitiator,
+                                   self.id(), machine_.now(),
+                                   pmap.isKernel(), mapped_pages, shot,
+                                   elapsed});
+        }
+        return;
+    }
+
+    // Section 8 pool restructuring: a kernel-pmap shootdown whose
+    // range lies entirely inside one pool's kmem slice only concerns
+    // that pool's processors (pool-local kernel memory is not shared
+    // between pools). Anything else remains machine-global.
+    int pool = -1;
+    if (pmap.isKernel() && cfg.kernel_pools > 1) {
+        const int lo_pool = machine_.poolOfKernelVpn(start);
+        const int hi_pool = machine_.poolOfKernelVpn(end - 1);
+        if (lo_pool >= 0 && lo_pool == hi_pool)
+            pool = lo_pool;
+    }
+
+    // ---- Phase 1: queue actions, interrupt, wait ---------------------
+    std::vector<CpuId> sync_list;
+    std::vector<CpuId> send_list;
+    for (CpuId id = 0; id < machine_.ncpus(); ++id) {
+        if (id == self.id() || !pmap.inUse(id))
+            continue;
+        if (pool >= 0 && machine_.poolOfCpu(id) !=
+            static_cast<unsigned>(pool)) {
+            continue;
+        }
+        queueAction(self, id, pmap, start, end);
+        kern::Cpu &target = machine_.cpu(id);
+        if (target.idle) {
+            // Idle processors get no interrupts and no synchronization;
+            // they drain their queues before leaving the idle set.
+            continue;
+        }
+        sync_list.push_back(id);
+        // Skip the interrupt if one is already pending there
+        // (Section 4, omitted detail 3); synchronization still occurs.
+        if (!intr.pending(id, hw::Irq::Shootdown))
+            send_list.push_back(id);
+    }
+
+    MACH_TRACE_LOG(Shootdown, machine_.now(),
+                   "cpu%u initiates on %s pmap vpn [0x%x,0x%x): "
+                   "%zu to sync, %zu to interrupt",
+                   self.id(), pmap.isKernel() ? "kernel" : "user",
+                   start, end, sync_list.size(), send_list.size());
+
+    if (!sync_list.empty()) {
+        if (cfg.multicast_ipi) {
+            // One bit-vector load triggers every target at fixed cost.
+            self.advanceNoPoll(cfg.multicast_send_cost);
+            for (CpuId id : send_list) {
+                intr.post(id, hw::Irq::Shootdown);
+                ++interrupts_sent;
+            }
+        } else if (cfg.broadcast_ipi) {
+            // Interrupt everyone (including innocent bystanders, who
+            // pay a dispatch with nothing queued) at fixed cost.
+            self.advanceNoPoll(cfg.broadcast_send_cost);
+            for (CpuId id = 0; id < machine_.ncpus(); ++id) {
+                if (id == self.id() ||
+                    intr.pending(id, hw::Irq::Shootdown)) {
+                    continue;
+                }
+                intr.post(id, hw::Irq::Shootdown);
+                ++interrupts_sent;
+            }
+        } else {
+            // Baseline: iterate down the list one directed IPI at a
+            // time.
+            for (CpuId id : send_list) {
+                Tick send = cfg.ipi_send_cost;
+                if (cfg.ipi_send_jitter > 0)
+                    send += machine_.rng().below(cfg.ipi_send_jitter);
+                self.advanceNoPoll(send);
+                intr.post(id, hw::Irq::Shootdown);
+                ++interrupts_sent;
+            }
+        }
+
+        // Wait for every synchronized processor to acknowledge (leave
+        // the active set), drain its queued actions, or cease using
+        // the pmap. The action-needed term matters on hardware whose
+        // responders do not stall (software reload / no writeback):
+        // such a responder acknowledges and rejoins the active set in
+        // one quick motion, and the initiator would otherwise miss the
+        // transient. Spinning processors are bus users; this is where
+        // large shootdowns congest the bus (Figure 2's knee).
+        hw::Bus::User bus_user(machine_.bus());
+        for (CpuId id : sync_list) {
+            kern::Cpu &target = machine_.cpu(id);
+            CpuShootState &st = *state_[id];
+            while (st.action_needed && target.active && pmap.inUse(id))
+                self.spinOnce();
+        }
+    }
+
+    const Tick elapsed = machine_.now() - t_begin;
+    MACH_TRACE_LOG(Shootdown, machine_.now(),
+                   "cpu%u synchronized after %llu us; pmap changes "
+                   "may begin",
+                   self.id(),
+                   static_cast<unsigned long long>(elapsed / kUsec));
+    if (cfg.xpr_enabled) {
+        self.advanceNoPoll(cfg.xpr_record_cost);
+        machine_.xpr().record({xpr::EventKind::ShootInitiator, self.id(),
+                               machine_.now(), pmap.isKernel(),
+                               mapped_pages,
+                               static_cast<std::uint32_t>(
+                                   sync_list.size()),
+                               elapsed});
+    }
+}
+
+void
+ShootdownController::drainActions(kern::Cpu &cpu)
+{
+    const hw::MachineConfig &cfg = machine_.cfg();
+    CpuShootState &st = *state_[cpu.id()];
+
+    st.action_lock.rawLock(cpu);
+    if (st.overflow) {
+        cpu.tlb().flushAll();
+        cpu.advanceNoPoll(cfg.tlb_flush_cost);
+        st.overflow = false;
+    } else {
+        for (const ShootAction &action : st.queue) {
+            invalidateLocal(cpu, action.pmap->space(), action.start,
+                            action.end);
+            if (cfg.tlb_asid_tags && !action.pmap->isKernel() &&
+                action.pmap != cpu.cur_pmap) {
+                // Section 10 experiment: completely flush entries for
+                // an address space that required an invalidation but is
+                // not current here, then drop the in-use bit so future
+                // shootdowns skip this processor.
+                cpu.tlb().flushSpace(action.pmap->space());
+                action.pmap->clearInUse(cpu.id());
+            }
+        }
+    }
+    st.queue.clear();
+    st.action_needed = false;
+    st.action_lock.rawUnlock(cpu);
+}
+
+void
+ShootdownController::respond(kern::Cpu &cpu)
+{
+    const hw::MachineConfig &cfg = machine_.cfg();
+    const Tick t_begin = machine_.now();
+
+    // Disable all interrupts for the duration: a device interrupt at
+    // the wrong point could stall the whole machine (Section 4).
+    const hw::Spl saved = cpu.setSpl(hw::SplHigh);
+    CpuShootState &st = *state_[cpu.id()];
+    const bool had_work = st.action_needed;
+
+    MACH_TRACE_LOG(Shootdown, machine_.now(),
+                   "cpu%u responds (action_needed=%d)", cpu.id(),
+                   st.action_needed ? 1 : 0);
+
+    // One pass of this loop services every shootdown in progress.
+    while (st.action_needed) {
+        ++responder_passes;
+
+        // Phase 2: acknowledge by leaving the active set, then stall
+        // until no relevant pmap is mid-update. (The responder must
+        // neither read nor write the pmap -- including through TLB
+        // reloads and ref/mod writebacks -- while the update is in
+        // progress.)
+        cpu.active = false;
+        cpu.memAccess(1);
+        if (responderMustStall()) {
+            hw::Bus::User bus_user(machine_.bus());
+            Pmap *kernel = &sys_.kernelPmap();
+            Pmap *user = cpu.cur_pmap;
+            while (kernel->locked() || (user != nullptr &&
+                                        user->locked())) {
+                cpu.spinOnce();
+            }
+        }
+
+        // Phase 4: perform the queued invalidations and rejoin the
+        // active set.
+        drainActions(cpu);
+        cpu.active = true;
+    }
+
+    if (had_work && cfg.xpr_enabled &&
+        cpu.id() < cfg.xpr_responder_cpus) {
+        // Responder events are recorded on a few selected processors
+        // only, to avoid lock contention in the instrumentation
+        // (Section 6).
+        const Tick elapsed = machine_.now() - t_begin;
+        cpu.advanceNoPoll(cfg.xpr_record_cost);
+        machine_.xpr().record({xpr::EventKind::ShootResponder, cpu.id(),
+                               machine_.now(), false, 0, 0, elapsed});
+    }
+    cpu.setSpl(saved);
+}
+
+void
+ShootdownController::idleExit(kern::Cpu &cpu)
+{
+    CpuShootState &st = *state_[cpu.id()];
+    if (!st.action_needed)
+        return;
+    ++idle_drains;
+    MACH_TRACE_LOG(Shootdown, machine_.now(),
+                   "cpu%u drains queued actions before leaving idle",
+                   cpu.id());
+
+    const hw::Spl saved = cpu.setSpl(hw::SplHigh);
+    while (st.action_needed) {
+        if (responderMustStall()) {
+            hw::Bus::User bus_user(machine_.bus());
+            Pmap *kernel = &sys_.kernelPmap();
+            while (kernel->locked())
+                cpu.spinOnce();
+        }
+        drainActions(cpu);
+    }
+    cpu.setSpl(saved);
+}
+
+ShootdownController::FlushSnapshot
+ShootdownController::snapshotFlushes(kern::Cpu &self, Pmap &pmap) const
+{
+    FlushSnapshot snapshot;
+    for (CpuId id = 0; id < machine_.ncpus(); ++id) {
+        if (id == self.id() || !pmap.inUse(id))
+            continue;
+        snapshot.emplace_back(id,
+                              machine_.cpu(id).tlb().full_flushes);
+    }
+    return snapshot;
+}
+
+void
+ShootdownController::delayedFlushWait(kern::Thread &thread, Pmap &pmap,
+                                      const FlushSnapshot &snapshot,
+                                      unsigned mapped_pages)
+{
+    const hw::MachineConfig &cfg = machine_.cfg();
+    const Tick t_begin = machine_.now();
+    ++delayed_waits;
+
+    for (;;) {
+        bool all_clean = true;
+        for (const auto &[id, epoch] : snapshot) {
+            kern::Cpu &cpu = machine_.cpu(id);
+            if (!pmap.inUse(id))
+                continue; // Its entries were flushed on the switch.
+            if (cpu.idle)
+                continue; // Idle TLBs are flushed at idle entry/exit.
+            if (cpu.tlb().full_flushes > epoch)
+                continue;
+            all_clean = false;
+            break;
+        }
+        if (all_clean)
+            break;
+        thread.sleep(1 * kMsec);
+    }
+
+    if (cfg.xpr_enabled) {
+        const Tick elapsed = machine_.now() - t_begin;
+        kern::Cpu &cpu = thread.cpu();
+        cpu.advanceNoPoll(cfg.xpr_record_cost);
+        machine_.xpr().record({xpr::EventKind::ShootInitiator,
+                               cpu.id(), machine_.now(),
+                               pmap.isKernel(), mapped_pages,
+                               static_cast<std::uint32_t>(
+                                   snapshot.size()),
+                               elapsed});
+    }
+}
+
+void
+ShootdownController::purgePmap(Pmap *pmap)
+{
+    for (auto &st : state_) {
+        bool purged = false;
+        auto &queue = st->queue;
+        for (std::size_t i = 0; i < queue.size();) {
+            if (queue[i].pmap == pmap) {
+                queue.erase(queue.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                purged = true;
+            } else {
+                ++i;
+            }
+        }
+        if (purged)
+            st->overflow = true; // Escalate to a conservative full flush.
+    }
+}
+
+} // namespace mach::pmap

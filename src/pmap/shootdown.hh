@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The Mach TLB shootdown algorithm (Section 4, Figure 1).
+ *
+ * The algorithm forcibly interrupts processors that may hold stale TLB
+ * entries ("shooting" the entries out of remote TLBs) and runs in four
+ * phases:
+ *
+ *   1. Initiator: queue consistency-action requests for every processor
+ *      using the pmap, set their action-needed flags, send interrupts
+ *      to the non-idle ones, and wait for responses.
+ *   2. Responders: acknowledge by leaving the active set, then spin
+ *      until the initiator's pmap changes are complete (the stall that
+ *      hardware reload and ref/mod writeback make necessary).
+ *   3. Initiator: perform the pmap changes, then unlock the pmap.
+ *   4. Responders: perform the queued TLB invalidations, clear their
+ *      action-needed flags, and rejoin the active set.
+ *
+ * Refinements implemented here, from the paper's list:
+ *   - a responder that ceased using the pmap needs no synchronization
+ *     (the wait condition is "active AND still using the pmap");
+ *   - concurrent initiators cannot deadlock because every initiator
+ *     leaves the active set and masks interrupts first;
+ *   - responders mask further shootdown interrupts while servicing one,
+ *     and one responder pass services all shootdowns in progress;
+ *   - idle processors get queued actions but no interrupts, and drain
+ *     their queues before leaving the idle set;
+ *   - a bounded per-processor action queue whose overflow escalates to
+ *     a full TLB flush;
+ *   - no duplicate interrupt is sent to a processor that already has a
+ *     shootdown interrupt pending;
+ *   - per-entry invalidation below a threshold, full flush above it.
+ *
+ * Section 9 hardware options (multicast/broadcast IPIs, remote TLB
+ * invalidation, software reload / no-writeback TLBs, high-priority
+ * software interrupt) alter the corresponding steps and are selected by
+ * MachineConfig flags.
+ */
+
+#ifndef MACH_PMAP_SHOOTDOWN_HH
+#define MACH_PMAP_SHOOTDOWN_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/machine_config.hh"
+#include "hw/tlb.hh"
+#include "kern/lock.hh"
+
+namespace mach::kern
+{
+class Cpu;
+class Machine;
+} // namespace mach::kern
+
+namespace mach::pmap
+{
+
+class Pmap;
+class PmapSystem;
+
+/** One queued TLB consistency action. */
+struct ShootAction
+{
+    Pmap *pmap;
+    Vpn start;
+    Vpn end;
+};
+
+/** Per-processor shootdown state. */
+struct CpuShootState
+{
+    CpuShootState() : action_lock("shoot-action", hw::SplHigh) {}
+
+    /** Protects the queue (leaf lock, held briefly at SplHigh). */
+    kern::SpinLock action_lock;
+    std::vector<ShootAction> queue;
+    /** Queue overflowed: responder must flush its entire TLB. */
+    bool overflow = false;
+    /** A TLB consistency action is needed on this processor. */
+    bool action_needed = false;
+};
+
+/** Machine-wide shootdown machinery. */
+class ShootdownController
+{
+  public:
+    explicit ShootdownController(PmapSystem &sys);
+
+    /**
+     * Phases 1-2, run by the initiator while holding @p pmap's lock at
+     * SplHigh with its active bit clear: queue actions, interrupt the
+     * non-idle users of the pmap, and wait until every one of them has
+     * either acknowledged (left the active set) or stopped using the
+     * pmap. On return the initiator may safely change the pmap.
+     *
+     * @p mapped_pages is the number of VM pages involved (recorded in
+     * the instrumentation, Section 6).
+     */
+    void shoot(kern::Cpu &self, Pmap &pmap, Vpn start, Vpn end,
+               unsigned mapped_pages);
+
+    /** Phases 2 and 4: the shootdown interrupt service routine. */
+    void respond(kern::Cpu &cpu);
+
+    /**
+     * Drain queued actions on a processor leaving the idle set, before
+     * it rejoins the active set (Section 4's idle-processor rule).
+     */
+    void idleExit(kern::Cpu &cpu);
+
+    /** Per-CPU full-flush epoch snapshot for the delayed-flush wait. */
+    using FlushSnapshot = std::vector<std::pair<CpuId, std::uint64_t>>;
+
+    /**
+     * Technique 2 (Section 3): block the calling thread until every
+     * processor in @p snapshot has performed a whole-TLB flush since
+     * the snapshot was taken (or stopped using / gone idle on
+     * @p pmap). The flushes are driven by timer interrupts and the
+     * idle loop, so this typically costs a good fraction of a timer
+     * period -- the expense that made Mach choose shootdown instead.
+     */
+    void delayedFlushWait(kern::Thread &thread, Pmap &pmap,
+                          const FlushSnapshot &snapshot,
+                          unsigned mapped_pages);
+
+    /** Take the epoch snapshot of every other processor using @p pmap. */
+    FlushSnapshot snapshotFlushes(kern::Cpu &self, Pmap &pmap) const;
+
+    /**
+     * Apply the per-entry-vs-full-flush invalidation policy to one
+     * CPU's own TLB, consuming that CPU's time.
+     */
+    void invalidateLocal(kern::Cpu &cpu, hw::SpaceId space, Vpn start,
+                         Vpn end);
+
+    CpuShootState &stateFor(CpuId id) { return *state_[id]; }
+
+    /** True when this configuration requires responders to stall. */
+    bool responderMustStall() const;
+
+    /**
+     * True when consistency actions must follow the pmap change
+     * instead of preceding it: with remote invalidation (or postponed
+     * shootdown interrupts on no-writeback TLBs) nothing stops a
+     * hardware reload from re-caching a stale PTE during the update,
+     * so stale entries can only be purged once the new PTEs are in
+     * place. (With software reload, the reload itself stalls on the
+     * locked pmap, so the pre-change order remains safe.)
+     */
+    bool invalidateAfterChange() const;
+
+
+    /**
+     * Remove queued actions referencing a pmap being destroyed,
+     * escalating affected processors to a full flush so the semantics
+     * stay conservative (no simulated time is consumed; destruction is
+     * a host-level teardown).
+     */
+    void purgePmap(Pmap *pmap);
+
+    // ---- Statistics --------------------------------------------------
+
+    std::uint64_t initiated = 0;
+    std::uint64_t delayed_waits = 0;
+    std::uint64_t interrupts_sent = 0;
+    std::uint64_t responder_passes = 0;
+    std::uint64_t idle_drains = 0;
+    std::uint64_t queue_overflows = 0;
+    std::uint64_t remote_invalidates = 0;
+
+  private:
+    /** Queue an action on @p target's queue (initiator side). */
+    void queueAction(kern::Cpu &self, CpuId target, Pmap &pmap,
+                     Vpn start, Vpn end);
+
+    /** Process a processor's queued actions (phase 4 / idle exit). */
+    void drainActions(kern::Cpu &cpu);
+
+    PmapSystem &sys_;
+    kern::Machine &machine_;
+    std::vector<std::unique_ptr<CpuShootState>> state_;
+};
+
+} // namespace mach::pmap
+
+#endif // MACH_PMAP_SHOOTDOWN_HH

@@ -1,0 +1,109 @@
+#include "sim/context.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace mach::sim
+{
+
+FiberId
+Context::spawn(std::string name, Fiber::Entry entry, Tick delay)
+{
+    FiberId id = next_fiber_id_++;
+    fibers_.emplace(id, std::make_unique<Fiber>(std::move(name),
+                                                std::move(entry)));
+    scheduleWake(id, now_ + delay);
+    return id;
+}
+
+std::string
+Context::fiberName(FiberId id) const
+{
+    auto it = fibers_.find(id);
+    return it == fibers_.end() ? "<gone>" : it->second->name();
+}
+
+FiberId
+Context::currentFiber() const
+{
+    MACH_ASSERT(current_id_ != 0);
+    return current_id_;
+}
+
+void
+Context::block()
+{
+    MACH_ASSERT(Fiber::current() != nullptr);
+    Fiber::yieldToScheduler();
+}
+
+EventId
+Context::scheduleWake(FiberId id, Tick when)
+{
+    MACH_ASSERT(id != 0);
+    MACH_ASSERT(when >= now_);
+    return queue_.schedule(when, [this, id] { resumeFiber(id); });
+}
+
+EventId
+Context::scheduleCall(Tick when, std::function<void()> cb)
+{
+    MACH_ASSERT(when >= now_);
+    return queue_.schedule(when, std::move(cb));
+}
+
+void
+Context::cancel(EventId id)
+{
+    queue_.cancel(id);
+}
+
+void
+Context::sleep(Tick dt)
+{
+    scheduleWake(currentFiber(), now_ + dt);
+    block();
+}
+
+void
+Context::resumeFiber(FiberId id)
+{
+    auto it = fibers_.find(id);
+    if (it == fibers_.end())
+        return; // Fiber finished before a stale wake fired.
+
+    FiberId prev = current_id_;
+    current_id_ = id;
+    it->second->resume();
+    current_id_ = prev;
+
+    if (it->second->finished())
+        fibers_.erase(it);
+}
+
+std::uint64_t
+Context::run(Tick until)
+{
+    MACH_ASSERT(Fiber::current() == nullptr);
+    MACH_ASSERT(!running_);
+    running_ = true;
+    stop_requested_ = false;
+
+    std::uint64_t dispatched = 0;
+    while (!queue_.empty() && !stop_requested_) {
+        if (queue_.nextTime() > until)
+            break;
+        Tick when = 0;
+        EventQueue::Callback cb = queue_.popFront(&when);
+        MACH_ASSERT(when >= now_);
+        now_ = when;
+        cb();
+        ++dispatched;
+    }
+
+    running_ = false;
+    return dispatched;
+}
+
+} // namespace mach::sim

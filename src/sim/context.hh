@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The simulation context: virtual clock, run loop, and fiber scheduling.
+ *
+ * One Context underlies one simulated machine. Code running inside fibers
+ * advances time by sleeping on the context; the run loop interleaves all
+ * fibers in deterministic (time, sequence) order.
+ */
+
+#ifndef MACH_SIM_CONTEXT_HH
+#define MACH_SIM_CONTEXT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "base/types.hh"
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+
+namespace mach::sim
+{
+
+/** Identifies a spawned fiber; stays valid after the fiber is reaped. */
+using FiberId = std::uint64_t;
+
+/** Virtual clock plus fiber scheduler for one simulated machine. */
+class Context
+{
+  public:
+    Context() = default;
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Current simulated time in whole microseconds (for reporting). */
+    Tick nowUsec() const { return now_ / kUsec; }
+
+    /**
+     * Create a fiber and schedule it to start at time now() + @p delay.
+     * The Context owns the fiber's storage until the fiber finishes.
+     */
+    FiberId spawn(std::string name, Fiber::Entry entry, Tick delay = 0);
+
+    /** The id of the fiber currently executing; panics in scheduler. */
+    FiberId currentFiber() const;
+
+    /**
+     * Block the current fiber until some event wakes it. Must be called
+     * from within a fiber.
+     */
+    void block();
+
+    /**
+     * Schedule fiber @p id to resume at absolute time @p when. Waking a
+     * fiber that has since finished is a harmless no-op, so races between
+     * wakeups and completion need no special handling at call sites.
+     */
+    EventId scheduleWake(FiberId id, Tick when);
+
+    /** Schedule a plain callback (runs in scheduler context; no block). */
+    EventId scheduleCall(Tick when, std::function<void()> cb);
+
+    /** Cancel a pending wake or call. No-op if already fired. */
+    void cancel(EventId id);
+
+    /**
+     * From within a fiber: advance simulated time by @p dt without any
+     * possibility of early wakeup.
+     */
+    void sleep(Tick dt);
+
+    /**
+     * Drain events until the queue is empty or simulated time would pass
+     * @p until. Returns the number of events dispatched.
+     */
+    std::uint64_t run(Tick until = ~Tick{0});
+
+    /** Make run() return after the current event completes. */
+    void requestStop() { stop_requested_ = true; }
+
+    /** Number of live (spawned, unfinished) fibers. */
+    std::size_t liveFiberCount() const { return fibers_.size(); }
+
+    /** Expose the queue for white-box tests and micro benchmarks. */
+    EventQueue &queue() { return queue_; }
+
+    /** Name of a live fiber (diagnostics); "<gone>" after it finishes. */
+    std::string fiberName(FiberId id) const;
+
+  private:
+    void resumeFiber(FiberId id);
+
+    EventQueue queue_;
+    Tick now_ = 0;
+    bool stop_requested_ = false;
+    bool running_ = false;
+    FiberId next_fiber_id_ = 1;
+    FiberId current_id_ = 0;
+    std::unordered_map<FiberId, std::unique_ptr<Fiber>> fibers_;
+};
+
+} // namespace mach::sim
+
+#endif // MACH_SIM_CONTEXT_HH

@@ -1,0 +1,46 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace mach::sim
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    MACH_ASSERT(cb != nullptr);
+    EventId id{when, next_seq_++};
+    events_.emplace(id, std::move(cb));
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (!id.valid())
+        return;
+    events_.erase(id);
+}
+
+Tick
+EventQueue::nextTime() const
+{
+    MACH_ASSERT(!events_.empty());
+    return events_.begin()->first.when;
+}
+
+EventQueue::Callback
+EventQueue::popFront(Tick *when)
+{
+    MACH_ASSERT(!events_.empty());
+    auto it = events_.begin();
+    *when = it->first.when;
+    Callback cb = std::move(it->second);
+    events_.erase(it);
+    return cb;
+}
+
+} // namespace mach::sim
+

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic, cancellable discrete-event queue.
+ *
+ * Events fire in (time, insertion-sequence) order, so two events scheduled
+ * for the same tick fire in the order they were scheduled. This total
+ * order is the root of the simulator's determinism.
+ */
+
+#ifndef MACH_SIM_EVENT_QUEUE_HH
+#define MACH_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "base/types.hh"
+
+namespace mach::sim
+{
+
+/** Opaque handle identifying a scheduled event, usable for cancellation. */
+struct EventId
+{
+    Tick when = 0;
+    std::uint64_t seq = 0;
+
+    bool valid() const { return seq != 0; }
+
+    bool
+    operator<(const EventId &other) const
+    {
+        if (when != other.when)
+            return when < other.when;
+        return seq < other.seq;
+    }
+};
+
+/** Time-ordered queue of callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to fire at absolute time @p when. */
+    EventId schedule(Tick when, Callback cb);
+
+    /**
+     * Remove a previously scheduled event. Cancelling an event that has
+     * already fired (or was already cancelled) is a harmless no-op, which
+     * simplifies callers that race wakeups against cancellations.
+     */
+    void cancel(EventId id);
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    /** Time of the earliest pending event; panics if empty. */
+    Tick nextTime() const;
+
+    /**
+     * Remove and return the earliest event's callback, storing its
+     * scheduled time in @p when. Panics if empty.
+     */
+    Callback popFront(Tick *when);
+
+    /** Total events ever scheduled (monotonic; used by micro benches). */
+    std::uint64_t scheduledCount() const { return next_seq_ - 1; }
+
+  private:
+    std::map<EventId, Callback> events_;
+    std::uint64_t next_seq_ = 1;
+};
+
+} // namespace mach::sim
+
+#endif // MACH_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,90 @@
+#include "sim/fiber.hh"
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace mach::sim
+{
+
+namespace
+{
+/** The fiber currently executing; null while in the scheduler. */
+Fiber *current_fiber = nullptr;
+/** Saved scheduler (main) context to return to on yield. */
+ucontext_t scheduler_context;
+} // namespace
+
+Fiber::Fiber(std::string name, Entry entry, std::size_t stack_size)
+    : name_(std::move(name)), entry_(std::move(entry)), stack_(stack_size)
+{
+    MACH_ASSERT(entry_ != nullptr);
+}
+
+Fiber::~Fiber()
+{
+    // Destroying a live, unfinished fiber would leak whatever it holds on
+    // its stack; the simulation tears fibers down only after completion
+    // or at whole-machine destruction where leaked stack state is inert.
+}
+
+Fiber *
+Fiber::current()
+{
+    return current_fiber;
+}
+
+void
+Fiber::trampoline(unsigned hi, unsigned lo)
+{
+    auto bits = (static_cast<std::uint64_t>(hi) << 32) |
+                static_cast<std::uint64_t>(lo);
+    reinterpret_cast<Fiber *>(static_cast<std::uintptr_t>(bits))->start();
+}
+
+void
+Fiber::start()
+{
+    entry_();
+    finished_ = true;
+    yieldToScheduler();
+    panic("resumed a finished fiber: %s", name_.c_str());
+}
+
+void
+Fiber::resume()
+{
+    MACH_ASSERT(current_fiber == nullptr);
+    MACH_ASSERT(!finished_);
+
+    if (!started_) {
+        started_ = true;
+        if (getcontext(&context_) != 0)
+            panic("getcontext failed");
+        context_.uc_stack.ss_sp = stack_.data();
+        context_.uc_stack.ss_size = stack_.size();
+        context_.uc_link = &scheduler_context;
+        auto bits =
+            static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(this));
+        makecontext(&context_,
+                    reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                    static_cast<unsigned>(bits >> 32),
+                    static_cast<unsigned>(bits & 0xffffffffu));
+    }
+
+    current_fiber = this;
+    if (swapcontext(&scheduler_context, &context_) != 0)
+        panic("swapcontext into fiber %s failed", name_.c_str());
+    current_fiber = nullptr;
+}
+
+void
+Fiber::yieldToScheduler()
+{
+    Fiber *self = current_fiber;
+    MACH_ASSERT(self != nullptr);
+    if (swapcontext(&self->context_, &scheduler_context) != 0)
+        panic("swapcontext to scheduler failed");
+}
+
+} // namespace mach::sim

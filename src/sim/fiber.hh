@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cooperative fibers built on ucontext.
+ *
+ * Every simulated execution context (a kernel thread running on a
+ * simulated CPU, an idle loop, a workload driver) is a Fiber. Exactly one
+ * fiber runs at a time on the single host thread, so simulated shared
+ * state never needs host-level synchronization; interleaving happens only
+ * at explicit simulation points (sim::Context::block and friends), which
+ * is what makes every experiment deterministic and replayable.
+ */
+
+#ifndef MACH_SIM_FIBER_HH
+#define MACH_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mach::sim
+{
+
+/** A cooperatively scheduled execution context with its own stack. */
+class Fiber
+{
+  public:
+    using Entry = std::function<void()>;
+
+    /** Default stack size; generous because VM fault paths nest deeply. */
+    static constexpr std::size_t kDefaultStackSize = 256 * 1024;
+
+    /**
+     * Create a fiber that will run @p entry when first switched to.
+     * The fiber does not start executing until switchTo() is called.
+     */
+    Fiber(std::string name, Entry entry,
+          std::size_t stack_size = kDefaultStackSize);
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /** True once entry() has returned. */
+    bool finished() const { return finished_; }
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * The fiber currently executing, or nullptr when control is in the
+     * scheduler (main context).
+     */
+    static Fiber *current();
+
+    /**
+     * Transfer control from the scheduler to this fiber. Must be called
+     * from the main context only; returns when the fiber blocks or
+     * finishes.
+     */
+    void resume();
+
+    /**
+     * Transfer control from this fiber back to the scheduler. Must be
+     * called from within the currently running fiber.
+     */
+    static void yieldToScheduler();
+
+  private:
+    static void trampoline(unsigned hi, unsigned lo);
+    void start();
+
+    std::string name_;
+    Entry entry_;
+    std::vector<unsigned char> stack_;
+    ucontext_t context_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace mach::sim
+
+#endif // MACH_SIM_FIBER_HH

@@ -1,0 +1,53 @@
+#include "vm/pager.hh"
+
+#include "base/logging.hh"
+
+namespace mach::vm
+{
+
+bool
+DefaultPager::contains(std::uint64_t object_id,
+                       std::uint32_t offset) const
+{
+    return store_.find(key(object_id, offset)) != store_.end();
+}
+
+void
+DefaultPager::pageOut(std::uint64_t object_id, std::uint32_t offset,
+                      Pfn pfn)
+{
+    std::vector<std::uint8_t> image(kPageSize);
+    const PAddr base = pfn << kPageShift;
+    for (std::uint32_t i = 0; i < kPageSize; ++i)
+        image[i] = mem_->read8(base + i);
+    store_[key(object_id, offset)] = std::move(image);
+    ++pageouts;
+}
+
+void
+DefaultPager::pageIn(std::uint64_t object_id, std::uint32_t offset,
+                     Pfn pfn)
+{
+    auto it = store_.find(key(object_id, offset));
+    if (it == store_.end())
+        panic("pageIn: no stored image for object %llu offset %u",
+              static_cast<unsigned long long>(object_id), offset);
+    const PAddr base = pfn << kPageShift;
+    for (std::uint32_t i = 0; i < kPageSize; ++i)
+        mem_->write8(base + i, it->second[i]);
+    store_.erase(it);
+    ++pageins;
+}
+
+void
+DefaultPager::forget(std::uint64_t object_id)
+{
+    for (auto it = store_.begin(); it != store_.end();) {
+        if ((it->first >> 20) == object_id)
+            it = store_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace mach::vm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Default pager: backing store for paged-out anonymous memory.
+ *
+ * Mach lets users supply backing-store objects and pagers (Section 2);
+ * here a single default pager stores page images keyed by (object id,
+ * page offset). Pagein and pageout latencies are charged to the
+ * requesting thread by the Kernel, not here -- the pager is pure
+ * storage.
+ */
+
+#ifndef MACH_VM_PAGER_HH
+#define MACH_VM_PAGER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/phys_mem.hh"
+
+namespace mach::vm
+{
+
+/** Backing store for anonymous memory. */
+class DefaultPager
+{
+  public:
+    explicit DefaultPager(hw::PhysMem *mem) : mem_(mem) {}
+
+    /** True when a page image is stored for (object, offset). */
+    bool contains(std::uint64_t object_id, std::uint32_t offset) const;
+
+    /** Copy frame @p pfn out to backing store. */
+    void pageOut(std::uint64_t object_id, std::uint32_t offset, Pfn pfn);
+
+    /**
+     * Copy the stored image for (object, offset) into frame @p pfn and
+     * discard it. Panics when absent.
+     */
+    void pageIn(std::uint64_t object_id, std::uint32_t offset, Pfn pfn);
+
+    /** Drop all images belonging to an object (object destruction). */
+    void forget(std::uint64_t object_id);
+
+    std::size_t storedPages() const { return store_.size(); }
+
+    std::uint64_t pageouts = 0;
+    std::uint64_t pageins = 0;
+
+  private:
+    static std::uint64_t key(std::uint64_t object_id, std::uint32_t offset)
+    {
+        return (object_id << 20) | offset;
+    }
+
+    hw::PhysMem *mem_;
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> store_;
+};
+
+} // namespace mach::vm
+
+#endif // MACH_VM_PAGER_HH

@@ -1,0 +1,19 @@
+#include "vm/task.hh"
+
+#include "vm/kernel.hh"
+
+namespace mach::vm
+{
+
+std::uint64_t Task::next_id_ = 1;
+
+Task::Task(Kernel *kernel, std::string name)
+    : kernel_(kernel), id_(next_id_++), name_(std::move(name)),
+      map_(name_, kUserLo, kUserHi),
+      pmap_(kernel->pmaps().createPmap())
+{
+}
+
+Task::~Task() = default;
+
+} // namespace mach::vm

@@ -1,0 +1,97 @@
+#include "vm/vm_object.hh"
+
+#include "base/logging.hh"
+
+namespace mach::vm
+{
+
+std::uint64_t VmObject::next_id_ = 1;
+
+ObjectPtr
+VmObject::create(hw::PhysMem *mem, std::uint32_t size_pages)
+{
+    auto object = ObjectPtr(new VmObject());
+    object->mem_ = mem;
+    object->id_ = next_id_++;
+    object->size_pages_ = size_pages;
+    return object;
+}
+
+ObjectPtr
+VmObject::makeShadow(ObjectPtr backing, std::uint32_t backing_offset,
+                     std::uint32_t size_pages)
+{
+    MACH_ASSERT(backing != nullptr);
+    ObjectPtr object = create(backing->mem_, size_pages);
+    object->shadow_ = std::move(backing);
+    object->shadow_offset_ = backing_offset;
+    return object;
+}
+
+VmObject::~VmObject()
+{
+    if (mem_ == nullptr)
+        return;
+    for (const auto &[offset, page] : pages_)
+        mem_->freeFrame(page.pfn);
+}
+
+VmPage *
+VmObject::lookupLocal(std::uint32_t offset)
+{
+    auto it = pages_.find(offset);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+PageLookup
+VmObject::lookupChain(std::uint32_t offset)
+{
+    PageLookup result;
+    VmObject *object = this;
+    std::uint32_t off = offset;
+    unsigned depth = 0;
+    while (object != nullptr) {
+        if (VmPage *page = object->lookupLocal(off)) {
+            result.object = object;
+            result.page = page;
+            result.depth = depth;
+            return result;
+        }
+        off += object->shadow_offset_;
+        object = object->shadow_.get();
+        ++depth;
+    }
+    return result;
+}
+
+VmPage *
+VmObject::insertPage(std::uint32_t offset, Pfn pfn)
+{
+    MACH_ASSERT(pages_.find(offset) == pages_.end());
+    VmPage page;
+    page.pfn = pfn;
+    auto [it, inserted] = pages_.emplace(offset, page);
+    MACH_ASSERT(inserted);
+    return &it->second;
+}
+
+void
+VmObject::removePage(std::uint32_t offset)
+{
+    const auto erased = pages_.erase(offset);
+    MACH_ASSERT(erased == 1);
+}
+
+unsigned
+VmObject::chainDepth() const
+{
+    unsigned depth = 0;
+    const VmObject *object = shadow_.get();
+    while (object != nullptr) {
+        ++depth;
+        object = object->shadow_.get();
+    }
+    return depth;
+}
+
+} // namespace mach::vm

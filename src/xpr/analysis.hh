@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Statistical analysis of xpr shootdown records -- the "utility programs
+ * to read the collected data and perform statistical analysis" of
+ * Section 6, producing the rows of Tables 1-4.
+ */
+
+#ifndef MACH_XPR_ANALYSIS_HH
+#define MACH_XPR_ANALYSIS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/stats.hh"
+#include "xpr/xpr.hh"
+
+namespace mach::xpr
+{
+
+/** Summary of one class of shootdown events. */
+struct ShootdownSummary
+{
+    std::uint64_t events = 0;
+    Sample time_usec;   ///< Initiator sync / responder ISR times.
+    Sample pages;       ///< Initiator only: pages per shootdown.
+    Sample procs;       ///< Initiator only: processors shot at.
+
+    /** Total overhead = events x mean time (Section 7.2). */
+    double totalOverheadUsec() const
+    {
+        return time_usec.sum();
+    }
+};
+
+/** Everything the evaluation tables need from one application run. */
+struct RunAnalysis
+{
+    ShootdownSummary kernel_initiator;
+    ShootdownSummary user_initiator;
+    ShootdownSummary responder;
+};
+
+/** Classify and summarize all records in @p buffer. */
+RunAnalysis analyze(const Buffer &buffer);
+
+/**
+ * Format one table row the way the paper prints distributions:
+ * events, mean+-std, 10th percentile, median, 90th percentile.
+ * @p not_meaningful replaces the percentile fields with "NM" (used for
+ * samples that are too small or bimodal, per Table 2's footnote).
+ */
+std::string formatRow(const std::string &label,
+                      const ShootdownSummary &summary,
+                      bool not_meaningful = false);
+
+} // namespace mach::xpr
+
+#endif // MACH_XPR_ANALYSIS_HH

@@ -1,0 +1,151 @@
+#include "xpr/machine_stats.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "pmap/shootdown.hh"
+#include "vm/kernel.hh"
+
+namespace mach::xpr
+{
+
+MachineStats
+MachineStats::capture(vm::Kernel &kernel)
+{
+    kern::Machine &machine = kernel.machine();
+    MachineStats stats;
+    stats.cpus.resize(machine.ncpus());
+    for (CpuId id = 0; id < machine.ncpus(); ++id) {
+        kern::Cpu &cpu = machine.cpu(id);
+        CpuStats &out = stats.cpus[id];
+        out.tlb_hits = cpu.tlb().hits;
+        out.tlb_misses = cpu.tlb().misses;
+        out.tlb_writebacks = cpu.tlb().writebacks;
+        out.tlb_flushes = cpu.tlb().flushes;
+        out.tlb_single_invalidates = cpu.tlb().single_invalidates;
+        out.interrupts_taken = cpu.interrupts_taken;
+        out.faults_taken = cpu.faults_taken;
+    }
+
+    const pmap::ShootdownController &shoot = kernel.pmaps().shoot();
+    stats.shootdowns_initiated = shoot.initiated;
+    stats.delayed_waits = shoot.delayed_waits;
+    stats.ipis_sent = shoot.interrupts_sent;
+    stats.responder_passes = shoot.responder_passes;
+    stats.idle_drains = shoot.idle_drains;
+    stats.queue_overflows = shoot.queue_overflows;
+    stats.remote_invalidates = shoot.remote_invalidates;
+
+    stats.faults_resolved = kernel.faults_resolved;
+    stats.faults_failed = kernel.faults_failed;
+    stats.cow_copies = kernel.cow_copies;
+    stats.zero_fills = kernel.zero_fills;
+    stats.pageouts = kernel.pager().pageouts;
+    stats.pageins = kernel.pager().pageins;
+
+    stats.now_usec = machine.now() / kUsec;
+    stats.free_frames = machine.mem().freeFrames();
+    return stats;
+}
+
+MachineStats
+MachineStats::since(const MachineStats &earlier) const
+{
+    MACH_ASSERT(cpus.size() == earlier.cpus.size());
+    MachineStats diff = *this;
+    for (std::size_t i = 0; i < cpus.size(); ++i) {
+        CpuStats &out = diff.cpus[i];
+        const CpuStats &then = earlier.cpus[i];
+        out.tlb_hits -= then.tlb_hits;
+        out.tlb_misses -= then.tlb_misses;
+        out.tlb_writebacks -= then.tlb_writebacks;
+        out.tlb_flushes -= then.tlb_flushes;
+        out.tlb_single_invalidates -= then.tlb_single_invalidates;
+        out.interrupts_taken -= then.interrupts_taken;
+        out.faults_taken -= then.faults_taken;
+    }
+    diff.shootdowns_initiated -= earlier.shootdowns_initiated;
+    diff.delayed_waits -= earlier.delayed_waits;
+    diff.ipis_sent -= earlier.ipis_sent;
+    diff.responder_passes -= earlier.responder_passes;
+    diff.idle_drains -= earlier.idle_drains;
+    diff.queue_overflows -= earlier.queue_overflows;
+    diff.remote_invalidates -= earlier.remote_invalidates;
+    diff.faults_resolved -= earlier.faults_resolved;
+    diff.faults_failed -= earlier.faults_failed;
+    diff.cow_copies -= earlier.cow_copies;
+    diff.zero_fills -= earlier.zero_fills;
+    diff.pageouts -= earlier.pageouts;
+    diff.pageins -= earlier.pageins;
+    diff.now_usec -= earlier.now_usec;
+    return diff;
+}
+
+CpuStats
+MachineStats::totals() const
+{
+    CpuStats total;
+    for (const CpuStats &cpu : cpus) {
+        total.tlb_hits += cpu.tlb_hits;
+        total.tlb_misses += cpu.tlb_misses;
+        total.tlb_writebacks += cpu.tlb_writebacks;
+        total.tlb_flushes += cpu.tlb_flushes;
+        total.tlb_single_invalidates += cpu.tlb_single_invalidates;
+        total.interrupts_taken += cpu.interrupts_taken;
+        total.faults_taken += cpu.faults_taken;
+    }
+    return total;
+}
+
+std::string
+MachineStats::report() const
+{
+    const CpuStats total = totals();
+    char buf[1024];
+    std::string out;
+
+    std::snprintf(buf, sizeof(buf),
+                  "machine stats @ %llu us (%zu cpus, %u free "
+                  "frames)\n",
+                  static_cast<unsigned long long>(now_usec),
+                  cpus.size(), free_frames);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  tlb: %llu hits / %llu misses (%.1f%% hit), "
+                  "%llu writebacks, %llu flushes, %llu invalidates\n",
+                  static_cast<unsigned long long>(total.tlb_hits),
+                  static_cast<unsigned long long>(total.tlb_misses),
+                  total.hitRatio() * 100.0,
+                  static_cast<unsigned long long>(total.tlb_writebacks),
+                  static_cast<unsigned long long>(total.tlb_flushes),
+                  static_cast<unsigned long long>(
+                      total.tlb_single_invalidates));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  vm : %llu faults (%llu failed), %llu zero-fills, "
+                  "%llu cow copies, %llu pageouts, %llu pageins\n",
+                  static_cast<unsigned long long>(faults_resolved +
+                                                  faults_failed),
+                  static_cast<unsigned long long>(faults_failed),
+                  static_cast<unsigned long long>(zero_fills),
+                  static_cast<unsigned long long>(cow_copies),
+                  static_cast<unsigned long long>(pageouts),
+                  static_cast<unsigned long long>(pageins));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  tlb consistency: %llu shootdowns, %llu IPIs, "
+                  "%llu responder passes, %llu idle drains, %llu "
+                  "queue overflows, %llu remote invalidates, %llu "
+                  "delayed waits\n",
+                  static_cast<unsigned long long>(shootdowns_initiated),
+                  static_cast<unsigned long long>(ipis_sent),
+                  static_cast<unsigned long long>(responder_passes),
+                  static_cast<unsigned long long>(idle_drains),
+                  static_cast<unsigned long long>(queue_overflows),
+                  static_cast<unsigned long long>(remote_invalidates),
+                  static_cast<unsigned long long>(delayed_waits));
+    out += buf;
+    return out;
+}
+
+} // namespace mach::xpr

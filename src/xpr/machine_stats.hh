@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Machine-wide statistics collection and reporting.
+ *
+ * Gathers the counters scattered across the substrates (TLBs, faults,
+ * interrupts, shootdown machinery, pager) into one structure that can
+ * be diffed between two points in a run and pretty-printed -- the
+ * "utility programs to read the collected data" side of Section 6,
+ * generalized beyond shootdown events.
+ */
+
+#ifndef MACH_XPR_MACHINE_STATS_HH
+#define MACH_XPR_MACHINE_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mach::vm
+{
+class Kernel;
+} // namespace mach::vm
+
+namespace mach::xpr
+{
+
+/** Per-processor counters. */
+struct CpuStats
+{
+    std::uint64_t tlb_hits = 0;
+    std::uint64_t tlb_misses = 0;
+    std::uint64_t tlb_writebacks = 0;
+    std::uint64_t tlb_flushes = 0;
+    std::uint64_t tlb_single_invalidates = 0;
+    std::uint64_t interrupts_taken = 0;
+    std::uint64_t faults_taken = 0;
+
+    double
+    hitRatio() const
+    {
+        const std::uint64_t total = tlb_hits + tlb_misses;
+        return total ? static_cast<double>(tlb_hits) / total : 0.0;
+    }
+};
+
+/** Snapshot of every counter of interest on a machine. */
+struct MachineStats
+{
+    std::vector<CpuStats> cpus;
+
+    // Shootdown machinery.
+    std::uint64_t shootdowns_initiated = 0;
+    std::uint64_t delayed_waits = 0;
+    std::uint64_t ipis_sent = 0;
+    std::uint64_t responder_passes = 0;
+    std::uint64_t idle_drains = 0;
+    std::uint64_t queue_overflows = 0;
+    std::uint64_t remote_invalidates = 0;
+
+    // VM system.
+    std::uint64_t faults_resolved = 0;
+    std::uint64_t faults_failed = 0;
+    std::uint64_t cow_copies = 0;
+    std::uint64_t zero_fills = 0;
+    std::uint64_t pageouts = 0;
+    std::uint64_t pageins = 0;
+
+    // Machine totals.
+    std::uint64_t now_usec = 0;
+    std::uint32_t free_frames = 0;
+
+    /** Capture the current counters of @p kernel's machine. */
+    static MachineStats capture(vm::Kernel &kernel);
+
+    /** Counter-wise difference (this - earlier); clocks subtract too. */
+    MachineStats since(const MachineStats &earlier) const;
+
+    /** Machine-wide totals over all CPUs. */
+    CpuStats totals() const;
+
+    /** Multi-line human-readable report. */
+    std::string report() const;
+};
+
+} // namespace mach::xpr
+
+#endif // MACH_XPR_MACHINE_STATS_HH

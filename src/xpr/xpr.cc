@@ -1,0 +1,52 @@
+#include "xpr/xpr.hh"
+
+#include "base/logging.hh"
+
+namespace mach::xpr
+{
+
+Buffer::Buffer(std::size_t capacity) : ring_(capacity)
+{
+    MACH_ASSERT(capacity > 0);
+}
+
+void
+Buffer::reset()
+{
+    head_ = 0;
+    count_ = 0;
+    overflowed_ = false;
+}
+
+void
+Buffer::record(const Event &event)
+{
+    if (!enabled_)
+        return;
+    ring_[head_] = event;
+    head_ = (head_ + 1) % ring_.size();
+    if (count_ < ring_.size())
+        ++count_;
+    else
+        overflowed_ = true;
+}
+
+std::vector<Event>
+Buffer::events() const
+{
+    std::vector<Event> out;
+    out.reserve(count_);
+    const std::size_t start =
+        (head_ + ring_.size() - count_) % ring_.size();
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+std::size_t
+Buffer::size() const
+{
+    return count_;
+}
+
+} // namespace mach::xpr

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for base utilities: statistics and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace mach
+{
+namespace
+{
+
+TEST(Sample, EmptySampleIsBenign)
+{
+    Sample s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Sample, SingleValue)
+{
+    Sample s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 42.0);
+}
+
+TEST(Sample, MeanAndStddevMatchHandComputation)
+{
+    Sample s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample (n-1) standard deviation of the classic data set.
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Sample, PercentilesInterpolate)
+{
+    Sample s;
+    for (int i = 1; i <= 5; ++i)
+        s.add(i); // 1..5
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.25), 2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.1), 1.4);
+    EXPECT_DOUBLE_EQ(s.percentile(0.9), 4.6);
+}
+
+TEST(Sample, PercentileUnsortedInput)
+{
+    Sample s;
+    for (double v : {9.0, 1.0, 5.0, 3.0, 7.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.median(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Sample, SkewedLowDetectsLongUpperTail)
+{
+    Sample skewed;
+    for (int i = 0; i < 90; ++i)
+        skewed.add(100.0 + i * 0.1);
+    for (int i = 0; i < 10; ++i)
+        skewed.add(1000.0 + 100.0 * i);
+    EXPECT_TRUE(skewed.skewedLow());
+
+    // A long *lower* tail is decisively not skewed-low.
+    Sample lower_tail;
+    for (int i = 0; i < 90; ++i)
+        lower_tail.add(1000.0 - i * 0.1);
+    for (int i = 0; i < 10; ++i)
+        lower_tail.add(10.0 * i);
+    EXPECT_FALSE(lower_tail.skewedLow());
+}
+
+TEST(Sample, ResetClearsEverything)
+{
+    Sample s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(Sample, MeanStdFormatting)
+{
+    Sample s;
+    s.add(10.0);
+    s.add(20.0);
+    EXPECT_EQ(s.meanStd(0), "15+-7");
+}
+
+TEST(Sample, InterleavedAddAndQuery)
+{
+    // The sorted cache must invalidate correctly on further adds.
+    Sample s;
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.median(), 10.0);
+    s.add(20.0);
+    EXPECT_DOUBLE_EQ(s.median(), 15.0);
+    s.add(0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 10.0);
+}
+
+TEST(LeastSquares, ExactLine)
+{
+    std::vector<double> xs, ys;
+    for (int i = 1; i <= 12; ++i) {
+        xs.push_back(i);
+        ys.push_back(430.0 + 55.0 * i);
+    }
+    const LinearFit fit = leastSquares(xs, ys);
+    EXPECT_NEAR(fit.intercept, 430.0, 1e-9);
+    EXPECT_NEAR(fit.slope, 55.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LeastSquares, NoisyLineRecoversTrend)
+{
+    Rng rng(7);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        const double x = static_cast<double>(i) / 10.0;
+        xs.push_back(x);
+        ys.push_back(3.0 + 2.0 * x + (rng.uniform() - 0.5));
+    }
+    const LinearFit fit = leastSquares(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 0.05);
+    EXPECT_NEAR(fit.intercept, 3.0, 0.3);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LeastSquares, FlatData)
+{
+    const LinearFit fit =
+        leastSquares({1.0, 2.0, 3.0}, {5.0, 5.0, 5.0});
+    EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+    EXPECT_DOUBLE_EQ(fit.r2, 1.0);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(99);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(5);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++seen[rng.below(8)];
+    for (int count : seen)
+        EXPECT_GT(count, 10000 / 16); // Roughly uniform.
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(4);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.range(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng rng(31);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum += rng.exponential(7.0);
+    EXPECT_NEAR(sum / 20000.0, 7.0, 0.25);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(77);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng rng(55);
+    const auto first = rng.next();
+    rng.next();
+    rng.reseed(55);
+    EXPECT_EQ(rng.next(), first);
+}
+
+using BaseDeathTest = ::testing::Test;
+
+TEST(BaseDeathTest, LeastSquaresPanicsOnDegenerateX)
+{
+    EXPECT_DEATH(leastSquares({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}),
+                 "identical");
+}
+
+TEST(BaseDeathTest, RngBelowZeroAsserts)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.below(0), "assertion");
+}
+
+TEST(Types, PageArithmetic)
+{
+    EXPECT_EQ(pageTrunc(0x12345), 0x12000u);
+    EXPECT_EQ(pageRound(0x12345), 0x13000u);
+    EXPECT_EQ(pageRound(0x12000), 0x12000u);
+    EXPECT_EQ(vaToVpn(0x12345), 0x12u);
+    EXPECT_EQ(vpnToVa(0x12), 0x12000u);
+}
+
+TEST(Types, ProtPredicates)
+{
+    EXPECT_TRUE(protAllows(ProtReadWrite, ProtRead));
+    EXPECT_TRUE(protAllows(ProtReadWrite, ProtWrite));
+    EXPECT_FALSE(protAllows(ProtRead, ProtWrite));
+    EXPECT_TRUE(protAllows(ProtNone, ProtNone));
+    EXPECT_FALSE(protAllows(ProtNone, ProtRead));
+
+    EXPECT_TRUE(protReduces(ProtReadWrite, ProtRead));
+    EXPECT_TRUE(protReduces(ProtRead, ProtNone));
+    EXPECT_FALSE(protReduces(ProtRead, ProtReadWrite));
+    EXPECT_FALSE(protReduces(ProtRead, ProtRead));
+}
+
+} // namespace
+} // namespace mach

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Determinism guarantees: the whole point of the simulated substrate
+ * is that every experiment replays bit-identically from its
+ * configuration, so results in EXPERIMENTS.md are reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/camelot.hh"
+#include "apps/consistency_tester.hh"
+#include "vm/kernel.hh"
+
+namespace mach
+{
+namespace
+{
+
+/** Serialize every xpr record of a run into a comparable string. */
+std::string
+fingerprint(const xpr::Buffer &buffer)
+{
+    std::ostringstream out;
+    for (const xpr::Event &event : buffer.events()) {
+        out << static_cast<int>(event.kind) << ':' << event.cpu << ':'
+            << event.timestamp << ':' << event.kernel_pmap << ':'
+            << event.pages << ':' << event.procs << ':'
+            << event.elapsed << '\n';
+    }
+    return out.str();
+}
+
+TEST(Determinism, TesterRunsAreBitIdentical)
+{
+    setLogQuiet(true);
+    std::string first;
+    for (int round = 0; round < 2; ++round) {
+        hw::MachineConfig config;
+        config.seed = 0xd37e3;
+        vm::Kernel kernel(config);
+        apps::ConsistencyTester tester(
+            {.children = 6, .warmup = 20 * kMsec});
+        tester.execute(kernel);
+        const std::string print = fingerprint(kernel.machine().xpr());
+        ASSERT_FALSE(print.empty());
+        if (round == 0)
+            first = print;
+        else
+            EXPECT_EQ(print, first);
+    }
+}
+
+TEST(Determinism, CamelotRunsAreBitIdentical)
+{
+    setLogQuiet(true);
+    std::string first;
+    Tick first_runtime = 0;
+    for (int round = 0; round < 2; ++round) {
+        hw::MachineConfig config;
+        config.seed = 0xd37e4;
+        vm::Kernel kernel(config);
+        apps::Camelot app({.transactions = 40});
+        const apps::WorkloadResult result = app.execute(kernel);
+        const std::string print = fingerprint(kernel.machine().xpr());
+        if (round == 0) {
+            first = print;
+            first_runtime = result.virtual_runtime;
+        } else {
+            EXPECT_EQ(print, first);
+            EXPECT_EQ(result.virtual_runtime, first_runtime);
+        }
+    }
+}
+
+TEST(Determinism, DifferentSeedsDiffer)
+{
+    setLogQuiet(true);
+    std::string prints[2];
+    for (int i = 0; i < 2; ++i) {
+        hw::MachineConfig config;
+        config.seed = 0xd37e5 + i;
+        vm::Kernel kernel(config);
+        apps::Camelot app({.transactions = 40});
+        app.execute(kernel);
+        prints[i] = fingerprint(kernel.machine().xpr());
+    }
+    EXPECT_NE(prints[0], prints[1]);
+}
+
+} // namespace
+} // namespace mach

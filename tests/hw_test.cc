@@ -1,0 +1,610 @@
+/**
+ * @file
+ * Unit tests for the hardware models: physical memory, page tables,
+ * TLBs, the bus contention model, and the interrupt controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/bus.hh"
+#include "hw/intr.hh"
+#include "hw/machine_config.hh"
+#include "hw/page_table.hh"
+#include "hw/phys_mem.hh"
+#include "hw/tlb.hh"
+
+namespace mach::hw
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// PhysMem
+// ---------------------------------------------------------------------
+
+TEST(PhysMem, AllocatesDistinctFrames)
+{
+    PhysMem mem(64);
+    const Pfn a = mem.allocFrame();
+    const Pfn b = mem.allocFrame();
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(mem.validPfn(a));
+    EXPECT_TRUE(mem.validPfn(b));
+    EXPECT_EQ(mem.freeFrames(), 61u); // 63 allocatable - 2.
+}
+
+TEST(PhysMem, FrameZeroIsReserved)
+{
+    PhysMem mem(64);
+    for (std::uint32_t i = 0; i < 63; ++i)
+        EXPECT_NE(mem.allocFrame(), 0u);
+    EXPECT_EQ(mem.freeFrames(), 0u);
+}
+
+TEST(PhysMem, FreedFramesAreReusable)
+{
+    PhysMem mem(8);
+    std::vector<Pfn> frames;
+    for (int i = 0; i < 7; ++i)
+        frames.push_back(mem.allocFrame());
+    for (Pfn f : frames)
+        mem.freeFrame(f);
+    EXPECT_EQ(mem.freeFrames(), 7u);
+    for (int i = 0; i < 7; ++i)
+        mem.allocFrame();
+}
+
+TEST(PhysMem, ReadWrite32)
+{
+    PhysMem mem(16);
+    const Pfn f = mem.allocFrame();
+    const PAddr base = f << kPageShift;
+    mem.write32(base + 8, 0xdeadbeef);
+    EXPECT_EQ(mem.read32(base + 8), 0xdeadbeefu);
+    EXPECT_EQ(mem.read32(base + 12), 0u); // Fresh frames read zero.
+}
+
+TEST(PhysMem, ByteAccess)
+{
+    PhysMem mem(16);
+    const Pfn f = mem.allocFrame();
+    const PAddr base = f << kPageShift;
+    mem.write8(base + 1, 0xab);
+    EXPECT_EQ(mem.read8(base + 1), 0xab);
+    EXPECT_EQ(mem.read8(base), 0x00);
+}
+
+TEST(PhysMem, CopyFrameDuplicatesContents)
+{
+    PhysMem mem(16);
+    const Pfn src = mem.allocFrame();
+    const Pfn dst = mem.allocFrame();
+    for (std::uint32_t i = 0; i < kPageSize; i += 4)
+        mem.write32((src << kPageShift) + i, i * 3 + 1);
+    mem.copyFrame(dst, src);
+    for (std::uint32_t i = 0; i < kPageSize; i += 4)
+        ASSERT_EQ(mem.read32((dst << kPageShift) + i), i * 3 + 1);
+}
+
+TEST(PhysMem, ReallocatedFrameIsZeroed)
+{
+    PhysMem mem(4);
+    const Pfn f = mem.allocFrame();
+    mem.write32(f << kPageShift, 0x1234);
+    mem.freeFrame(f);
+    Pfn g;
+    do {
+        g = mem.allocFrame();
+    } while (g != f && mem.freeFrames() > 0);
+    ASSERT_EQ(g, f);
+    EXPECT_EQ(mem.read32(g << kPageShift), 0u);
+}
+
+// ---------------------------------------------------------------------
+// PTE helpers
+// ---------------------------------------------------------------------
+
+TEST(Pte, RoundTripFields)
+{
+    const std::uint32_t entry = pte::make(0x123, ProtReadWrite, true,
+                                          false);
+    EXPECT_TRUE(pte::valid(entry));
+    EXPECT_TRUE(pte::writable(entry));
+    EXPECT_TRUE(pte::referenced(entry));
+    EXPECT_FALSE(pte::modified(entry));
+    EXPECT_EQ(pte::pfn(entry), 0x123u);
+    EXPECT_EQ(pte::prot(entry), ProtReadWrite);
+}
+
+TEST(Pte, ReadOnlyAndInvalid)
+{
+    const std::uint32_t ro = pte::make(7, ProtRead);
+    EXPECT_EQ(pte::prot(ro), ProtRead);
+    EXPECT_FALSE(pte::writable(ro));
+    EXPECT_EQ(pte::prot(0), ProtNone);
+    EXPECT_FALSE(pte::valid(0));
+}
+
+// ---------------------------------------------------------------------
+// PageTable
+// ---------------------------------------------------------------------
+
+TEST(PageTable, EmptyWalkMissesWithOneRead)
+{
+    PhysMem mem(128);
+    PageTable table(&mem);
+    const WalkResult walk = table.walk(0x400);
+    EXPECT_FALSE(pte::valid(walk.pte));
+    EXPECT_FALSE(walk.leaf_present);
+    EXPECT_EQ(walk.memory_reads, 1u);
+}
+
+TEST(PageTable, WriteThenWalk)
+{
+    PhysMem mem(128);
+    PageTable table(&mem);
+    table.writePte(0x400, pte::make(9, ProtRead));
+    const WalkResult walk = table.walk(0x400);
+    EXPECT_TRUE(pte::valid(walk.pte));
+    EXPECT_TRUE(walk.leaf_present);
+    EXPECT_EQ(walk.memory_reads, 2u);
+    EXPECT_EQ(pte::pfn(walk.pte), 9u);
+}
+
+TEST(PageTable, LeafAllocatedOnDemandOnly)
+{
+    PhysMem mem(128);
+    PageTable table(&mem);
+    EXPECT_EQ(table.leafCount(), 0u);
+    table.writePte(0, pte::make(1, ProtRead));
+    EXPECT_EQ(table.leafCount(), 1u);
+    // Same leaf (vpns 0..1023 share it).
+    table.writePte(1023, pte::make(2, ProtRead));
+    EXPECT_EQ(table.leafCount(), 1u);
+    // Next leaf.
+    table.writePte(1024, pte::make(3, ProtRead));
+    EXPECT_EQ(table.leafCount(), 2u);
+}
+
+TEST(PageTable, InvalidatingUnmappedDoesNotAllocate)
+{
+    PhysMem mem(128);
+    PageTable table(&mem);
+    table.writePte(0x12345, 0);
+    EXPECT_EQ(table.leafCount(), 0u);
+}
+
+TEST(PageTable, ForEachValidSkipsMissingLeaves)
+{
+    PhysMem mem(128);
+    PageTable table(&mem);
+    table.writePte(10, pte::make(1, ProtRead));
+    table.writePte(5000, pte::make(2, ProtRead));
+
+    std::vector<Vpn> seen;
+    table.forEachValid(0, 8192,
+                       [&](Vpn vpn, std::uint32_t) { seen.push_back(vpn); });
+    EXPECT_EQ(seen, (std::vector<Vpn>{10, 5000}));
+}
+
+TEST(PageTable, ForEachValidRespectsRange)
+{
+    PhysMem mem(128);
+    PageTable table(&mem);
+    for (Vpn v = 8; v < 16; ++v)
+        table.writePte(v, pte::make(v, ProtRead));
+    EXPECT_EQ(table.countValid(10, 14), 4u);
+    EXPECT_EQ(table.countValid(0, 8), 0u);
+    EXPECT_EQ(table.countValid(8, 16), 8u);
+}
+
+TEST(PageTable, CollectFreesLeavesAndInvalidatesAll)
+{
+    PhysMem mem(128);
+    PageTable table(&mem);
+    const std::uint32_t before = mem.freeFrames();
+    table.writePte(0, pte::make(1, ProtRead));
+    table.writePte(2048, pte::make(2, ProtRead));
+    EXPECT_EQ(mem.freeFrames(), before - 2);
+    table.collect();
+    EXPECT_EQ(mem.freeFrames(), before);
+    EXPECT_EQ(table.countValid(0, 4096), 0u);
+    // Usable again afterwards.
+    table.writePte(7, pte::make(3, ProtRead));
+    EXPECT_EQ(table.countValid(0, 1024), 1u);
+}
+
+TEST(PageTable, PteAddrMatchesWalk)
+{
+    PhysMem mem(128);
+    PageTable table(&mem);
+    EXPECT_EQ(table.pteAddr(66), 0u);
+    table.writePte(66, pte::make(4, ProtReadWrite));
+    const PAddr addr = table.pteAddr(66);
+    ASSERT_NE(addr, 0u);
+    EXPECT_EQ(mem.read32(addr), table.readPte(66));
+    // Writing through the raw address is what TLB writeback does.
+    mem.write32(addr, pte::make(4, ProtReadWrite, true, true));
+    EXPECT_TRUE(pte::modified(table.readPte(66)));
+}
+
+// ---------------------------------------------------------------------
+// Tlb
+// ---------------------------------------------------------------------
+
+struct TlbFixture : public ::testing::Test
+{
+    TlbFixture() : mem(256), tlb(&config, &mem) {}
+
+    MachineConfig config;
+    PhysMem mem;
+    Tlb tlb;
+};
+
+TEST_F(TlbFixture, MissThenHit)
+{
+    EXPECT_FALSE(tlb.lookup(1, 5, ProtRead, 0).hit);
+    tlb.insert(1, 5, 42, ProtRead, false);
+    const TlbLookup hit = tlb.lookup(1, 5, ProtRead, 0);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.prot_ok);
+    EXPECT_EQ(hit.pfn, 42u);
+}
+
+TEST_F(TlbFixture, SpacesAreIsolated)
+{
+    tlb.insert(1, 5, 42, ProtRead, false);
+    EXPECT_FALSE(tlb.lookup(2, 5, ProtRead, 0).hit);
+}
+
+TEST_F(TlbFixture, ProtectionInsufficientIsFlagged)
+{
+    tlb.insert(1, 5, 42, ProtRead, false);
+    const TlbLookup look = tlb.lookup(1, 5, ProtWrite, 0);
+    EXPECT_TRUE(look.hit);
+    EXPECT_FALSE(look.prot_ok);
+}
+
+TEST_F(TlbFixture, WriteHitPerformsRefModWriteback)
+{
+    // Build a PTE in memory, cache it, then write through the entry:
+    // the TLB must write its image of the entry back to memory with
+    // ref/mod set -- the Section 3 hazard.
+    const Pfn leaf = mem.allocFrame();
+    const PAddr pte_addr = leaf << kPageShift;
+    mem.write32(pte_addr, pte::make(42, ProtReadWrite));
+
+    tlb.insert(1, 5, 42, ProtReadWrite, false);
+    const TlbLookup look = tlb.lookup(1, 5, ProtWrite, pte_addr);
+    EXPECT_TRUE(look.did_writeback);
+    const std::uint32_t after = mem.read32(pte_addr);
+    EXPECT_TRUE(pte::referenced(after));
+    EXPECT_TRUE(pte::modified(after));
+
+    // Second write: mod already set, no further writeback.
+    EXPECT_FALSE(tlb.lookup(1, 5, ProtWrite, pte_addr).did_writeback);
+}
+
+TEST_F(TlbFixture, WritebackClobbersConcurrentPteChange)
+{
+    // The corruption scenario: the PTE is invalidated in memory, but a
+    // stale cached entry's writeback blindly rewrites it.
+    const Pfn leaf = mem.allocFrame();
+    const PAddr pte_addr = leaf << kPageShift;
+    mem.write32(pte_addr, pte::make(42, ProtReadWrite));
+    tlb.insert(1, 5, 42, ProtReadWrite, false);
+
+    mem.write32(pte_addr, 0); // pmap invalidates the mapping...
+    tlb.lookup(1, 5, ProtWrite, pte_addr); // ...writeback resurrects it.
+    EXPECT_TRUE(pte::valid(mem.read32(pte_addr)));
+}
+
+TEST_F(TlbFixture, InterlockedWritebackPreservesConcurrentChange)
+{
+    // MC88200-style interlocked ref/mod update: the hardware re-reads
+    // the PTE and ORs the bits in, so a concurrent protection change
+    // survives and a revoked mapping faults instead of resurrecting.
+    config.tlb_interlocked_refmod = true;
+    const Pfn leaf = mem.allocFrame();
+    const PAddr pte_addr = leaf << kPageShift;
+    mem.write32(pte_addr, pte::make(42, ProtReadWrite));
+    tlb.insert(1, 5, 42, ProtReadWrite, false);
+
+    // Concurrent pmap invalidation...
+    mem.write32(pte_addr, 0);
+    const TlbLookup look = tlb.lookup(1, 5, ProtWrite, pte_addr);
+    // ...makes the access fault rather than corrupting the PTE.
+    EXPECT_FALSE(look.hit);
+    EXPECT_FALSE(pte::valid(mem.read32(pte_addr)));
+    // The stale entry was dropped.
+    EXPECT_FALSE(tlb.cachesMapping(1, 5, ProtRead));
+}
+
+TEST_F(TlbFixture, InterlockedWritebackSetsBitsOnValidMapping)
+{
+    config.tlb_interlocked_refmod = true;
+    const Pfn leaf = mem.allocFrame();
+    const PAddr pte_addr = leaf << kPageShift;
+    mem.write32(pte_addr, pte::make(42, ProtReadWrite));
+    tlb.insert(1, 5, 42, ProtReadWrite, false);
+
+    const TlbLookup look = tlb.lookup(1, 5, ProtWrite, pte_addr);
+    EXPECT_TRUE(look.hit);
+    EXPECT_TRUE(look.did_writeback);
+    const std::uint32_t after = mem.read32(pte_addr);
+    EXPECT_TRUE(pte::referenced(after));
+    EXPECT_TRUE(pte::modified(after));
+    EXPECT_TRUE(pte::valid(after));
+}
+
+TEST_F(TlbFixture, InterlockedWritebackFaultsOnDowngrade)
+{
+    // The critical case from the paper's footnote: setting the modify
+    // bit for a cached mapping whose PTE no longer permits writes must
+    // fault, not OR bits into a read-only PTE.
+    config.tlb_interlocked_refmod = true;
+    const Pfn leaf = mem.allocFrame();
+    const PAddr pte_addr = leaf << kPageShift;
+    mem.write32(pte_addr, pte::make(42, ProtReadWrite));
+    tlb.insert(1, 5, 42, ProtReadWrite, false);
+
+    mem.write32(pte_addr, pte::make(42, ProtRead)); // Downgraded.
+    const TlbLookup look = tlb.lookup(1, 5, ProtWrite, pte_addr);
+    EXPECT_FALSE(look.hit);
+    EXPECT_FALSE(pte::modified(mem.read32(pte_addr)));
+}
+
+TEST_F(TlbFixture, NoWritebackOptionSuppressesHazard)
+{
+    config.tlb_no_refmod_writeback = true;
+    const Pfn leaf = mem.allocFrame();
+    const PAddr pte_addr = leaf << kPageShift;
+    mem.write32(pte_addr, pte::make(42, ProtReadWrite));
+    tlb.insert(1, 5, 42, ProtReadWrite, false);
+    mem.write32(pte_addr, 0);
+    tlb.lookup(1, 5, ProtWrite, pte_addr);
+    EXPECT_FALSE(pte::valid(mem.read32(pte_addr)));
+}
+
+TEST_F(TlbFixture, InvalidatePage)
+{
+    tlb.insert(1, 5, 42, ProtRead, false);
+    tlb.invalidatePage(1, 5);
+    EXPECT_FALSE(tlb.lookup(1, 5, ProtRead, 0).hit);
+    EXPECT_EQ(tlb.single_invalidates, 1u);
+}
+
+TEST_F(TlbFixture, InvalidateRange)
+{
+    for (Vpn v = 0; v < 10; ++v)
+        tlb.insert(1, v, v + 1, ProtRead, false);
+    tlb.invalidateRange(1, 3, 7);
+    for (Vpn v = 0; v < 10; ++v) {
+        const bool expect_hit = v < 3 || v >= 7;
+        EXPECT_EQ(tlb.lookup(1, v, ProtRead, 0).hit, expect_hit)
+            << "vpn " << v;
+    }
+}
+
+TEST_F(TlbFixture, FlushSpaceLeavesOtherSpaces)
+{
+    tlb.insert(1, 5, 42, ProtRead, false);
+    tlb.insert(2, 5, 43, ProtRead, false);
+    tlb.flushSpace(1);
+    EXPECT_FALSE(tlb.lookup(1, 5, ProtRead, 0).hit);
+    EXPECT_TRUE(tlb.lookup(2, 5, ProtRead, 0).hit);
+    EXPECT_FALSE(tlb.cachesSpace(1));
+    EXPECT_TRUE(tlb.cachesSpace(2));
+}
+
+TEST_F(TlbFixture, FlushAllEmptiesBuffer)
+{
+    for (Vpn v = 0; v < 20; ++v)
+        tlb.insert(1, v, v, ProtRead, false);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.validCount(), 0u);
+}
+
+TEST_F(TlbFixture, ReplacementEvictsWhenFull)
+{
+    for (Vpn v = 0; v < config.tlb_entries + 10; ++v)
+        tlb.insert(1, v, v, ProtRead, false);
+    EXPECT_EQ(tlb.validCount(), config.tlb_entries);
+}
+
+TEST_F(TlbFixture, ReinsertUpdatesInPlace)
+{
+    tlb.insert(1, 5, 42, ProtRead, false);
+    tlb.insert(1, 5, 43, ProtReadWrite, false);
+    EXPECT_EQ(tlb.validCount(), 1u);
+    const TlbLookup look = tlb.lookup(1, 5, ProtWrite, 0);
+    EXPECT_TRUE(look.prot_ok);
+    EXPECT_EQ(look.pfn, 43u);
+}
+
+TEST_F(TlbFixture, CachesMappingQuery)
+{
+    tlb.insert(1, 5, 42, ProtRead, false);
+    EXPECT_TRUE(tlb.cachesMapping(1, 5, ProtRead));
+    EXPECT_FALSE(tlb.cachesMapping(1, 5, ProtWrite));
+    EXPECT_FALSE(tlb.cachesMapping(1, 6, ProtRead));
+}
+
+// ---------------------------------------------------------------------
+// Bus
+// ---------------------------------------------------------------------
+
+TEST(Bus, UncontendedCostIsNearBase)
+{
+    MachineConfig config;
+    config.mem_jitter = 0;
+    Bus bus(&config);
+    EXPECT_EQ(bus.accessCost(), config.mem_access_cost);
+}
+
+TEST(Bus, PenaltyAboveThreshold)
+{
+    MachineConfig config;
+    config.mem_jitter = 0;
+    config.bus_contended_jitter = 0;
+    Bus bus(&config);
+    for (unsigned i = 0; i < config.bus_contention_threshold; ++i)
+        bus.enter();
+    EXPECT_EQ(bus.accessCost(), config.mem_access_cost);
+    bus.enter();
+    EXPECT_EQ(bus.accessCost(),
+              config.mem_access_cost + config.bus_penalty_per_user);
+    bus.enter();
+    EXPECT_EQ(bus.accessCost(),
+              config.mem_access_cost + 2 * config.bus_penalty_per_user);
+}
+
+TEST(Bus, RaiiUserBalances)
+{
+    MachineConfig config;
+    Bus bus(&config);
+    {
+        Bus::User a(bus);
+        Bus::User b(bus);
+        EXPECT_EQ(bus.users(), 2u);
+    }
+    EXPECT_EQ(bus.users(), 0u);
+}
+
+TEST(Bus, ContendedJitterVaries)
+{
+    MachineConfig config;
+    config.mem_jitter = 0;
+    Bus bus(&config);
+    for (unsigned i = 0; i <= config.bus_contention_threshold; ++i)
+        bus.enter();
+    bool varied = false;
+    const Tick first = bus.accessCost();
+    for (int i = 0; i < 64 && !varied; ++i)
+        varied = bus.accessCost() != first;
+    EXPECT_TRUE(varied);
+}
+
+// ---------------------------------------------------------------------
+// InterruptController
+// ---------------------------------------------------------------------
+
+TEST(Intr, PostSetsPendingOnce)
+{
+    MachineConfig config;
+    InterruptController intr(&config, 4);
+    EXPECT_TRUE(intr.post(2, Irq::Shootdown));
+    EXPECT_TRUE(intr.pending(2, Irq::Shootdown));
+    // Second post merges (the "already pending" check of Section 4).
+    EXPECT_FALSE(intr.post(2, Irq::Shootdown));
+    EXPECT_FALSE(intr.pending(1, Irq::Shootdown));
+}
+
+TEST(Intr, ClearAcknowledges)
+{
+    MachineConfig config;
+    InterruptController intr(&config, 4);
+    intr.post(0, Irq::Device);
+    intr.clear(0, Irq::Device);
+    EXPECT_FALSE(intr.pending(0, Irq::Device));
+    EXPECT_TRUE(intr.post(0, Irq::Device));
+}
+
+TEST(Intr, DeliverableRespectsSpl)
+{
+    MachineConfig config;
+    InterruptController intr(&config, 2);
+    intr.post(0, Irq::Shootdown);
+    EXPECT_EQ(intr.deliverable(0, Spl0),
+              static_cast<int>(Irq::Shootdown));
+    // Baseline shootdown priority is SplSoft: masked at SplSoft+.
+    EXPECT_EQ(intr.deliverable(0, SplSoft), -1);
+    EXPECT_EQ(intr.deliverable(0, SplDevice), -1);
+    EXPECT_EQ(intr.deliverable(0, SplHigh), -1);
+}
+
+TEST(Intr, HigherPriorityWinsWhenBothPending)
+{
+    MachineConfig config;
+    InterruptController intr(&config, 1);
+    intr.post(0, Irq::Shootdown);
+    intr.post(0, Irq::Device);
+    EXPECT_EQ(intr.deliverable(0, Spl0),
+              static_cast<int>(Irq::Device));
+    intr.clear(0, Irq::Device);
+    EXPECT_EQ(intr.deliverable(0, Spl0),
+              static_cast<int>(Irq::Shootdown));
+}
+
+TEST(Intr, HighPriorityIpiOptionOutranksDevices)
+{
+    MachineConfig config;
+    config.high_priority_ipi = true;
+    InterruptController intr(&config, 1);
+    intr.post(0, Irq::Shootdown);
+    intr.post(0, Irq::Device);
+    // The software interrupt now outranks devices and is deliverable
+    // even with devices masked -- the Section 9 proposal.
+    EXPECT_EQ(intr.deliverable(0, Spl0),
+              static_cast<int>(Irq::Shootdown));
+    EXPECT_EQ(intr.deliverable(0, SplDevice),
+              static_cast<int>(Irq::Shootdown));
+    EXPECT_EQ(intr.deliverable(0, SplHigh), -1);
+}
+
+TEST(Intr, KickFiresOnFreshPostOnly)
+{
+    MachineConfig config;
+    InterruptController intr(&config, 2);
+    int kicks = 0;
+    intr.setKick([&](CpuId) { ++kicks; });
+    intr.post(1, Irq::Shootdown);
+    intr.post(1, Irq::Shootdown);
+    EXPECT_EQ(kicks, 1);
+    intr.clear(1, Irq::Shootdown);
+    intr.post(1, Irq::Shootdown);
+    EXPECT_EQ(kicks, 2);
+}
+
+TEST(MachineConfigTest, ValidateRejectsNonsense)
+{
+    MachineConfig config;
+    config.ncpus = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "ncpus");
+
+    MachineConfig both;
+    both.multicast_ipi = true;
+    both.broadcast_ipi = true;
+    EXPECT_EXIT(both.validate(), ::testing::ExitedWithCode(1),
+                "exclusive");
+
+    MachineConfig remote;
+    remote.tlb_remote_invalidate = true;
+    EXPECT_EXIT(remote.validate(), ::testing::ExitedWithCode(1),
+                "no_refmod_writeback");
+}
+
+TEST(HwDeathTest, FreeingReservedFrameAsserts)
+{
+    PhysMem mem(8);
+    EXPECT_DEATH(mem.freeFrame(0), "assertion");
+}
+
+TEST(HwDeathTest, ExhaustedPhysMemPanics)
+{
+    PhysMem mem(4);
+    for (int i = 0; i < 3; ++i)
+        mem.allocFrame();
+    EXPECT_DEATH(mem.allocFrame(), "out of physical frames");
+}
+
+TEST(MachineConfigTest, DefaultsAreValid)
+{
+    MachineConfig config;
+    config.validate(); // Must not exit.
+    SUCCEED();
+}
+
+} // namespace
+} // namespace mach::hw

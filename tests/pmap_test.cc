@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for the pmap module: operations on physical maps, processor
+ * bookkeeping, lazy evaluation, the pv table, and the consistency
+ * audit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmap/shootdown.hh"
+#include "vm/kernel.hh"
+
+namespace mach
+{
+namespace
+{
+
+hw::MachineConfig
+pmapConfig()
+{
+    setLogQuiet(true);
+    hw::MachineConfig config;
+    config.ncpus = 4;
+    return config;
+}
+
+void
+inKernel(const hw::MachineConfig &config,
+         const std::function<void(vm::Kernel &, kern::Thread &)> &body)
+{
+    vm::Kernel kernel(config);
+    kernel.start();
+    bool finished = false;
+    kernel.spawnThread(nullptr, "pmap-driver",
+                       [&](kern::Thread &driver) {
+                           body(kernel, driver);
+                           finished = true;
+                           kernel.machine().ctx().requestStop();
+                       });
+    kernel.machine().run();
+    ASSERT_TRUE(finished);
+}
+
+void
+inKernel(const std::function<void(vm::Kernel &, kern::Thread &)> &body)
+{
+    inKernel(pmapConfig(), body);
+}
+
+TEST(PmapOps, EnterInstallsPte)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        pmap->enter(drv, 100, frame, ProtReadWrite);
+        const std::uint32_t pte = pmap->table().readPte(100);
+        EXPECT_TRUE(hw::pte::valid(pte));
+        EXPECT_EQ(hw::pte::pfn(pte), frame);
+        EXPECT_EQ(hw::pte::prot(pte), ProtReadWrite);
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapOps, RemoveClearsRange)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        std::vector<Pfn> frames;
+        for (Vpn v = 10; v < 15; ++v) {
+            frames.push_back(kernel.machine().mem().allocFrame());
+            pmap->enter(drv, v, frames.back(), ProtRead);
+        }
+        pmap->remove(drv, 11, 14);
+        EXPECT_FALSE(hw::pte::valid(pmap->table().readPte(11)));
+        EXPECT_FALSE(hw::pte::valid(pmap->table().readPte(13)));
+        EXPECT_TRUE(hw::pte::valid(pmap->table().readPte(10)));
+        EXPECT_TRUE(hw::pte::valid(pmap->table().readPte(14)));
+        for (Pfn f : frames)
+            kernel.machine().mem().freeFrame(f);
+    });
+}
+
+TEST(PmapOps, ProtectPreservesRefModBits)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        pmap->enter(drv, 7, frame, ProtReadWrite);
+        // Simulate hardware setting ref/mod.
+        pmap->table().writePte(
+            7, hw::pte::make(frame, ProtReadWrite, true, true));
+        pmap->protect(drv, 7, 8, ProtRead);
+        const std::uint32_t pte = pmap->table().readPte(7);
+        EXPECT_EQ(hw::pte::prot(pte), ProtRead);
+        EXPECT_TRUE(hw::pte::referenced(pte));
+        EXPECT_TRUE(hw::pte::modified(pte));
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapOps, ReenterSamePfnPreservesRefMod)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        pmap->enter(drv, 7, frame, ProtRead);
+        pmap->table().writePte(7,
+                               hw::pte::make(frame, ProtRead, true,
+                                             false));
+        pmap->enter(drv, 7, frame, ProtReadWrite); // Upgrade.
+        const std::uint32_t pte = pmap->table().readPte(7);
+        EXPECT_TRUE(hw::pte::referenced(pte));
+        EXPECT_EQ(hw::pte::prot(pte), ProtReadWrite);
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapOps, PvTableTracksMappings)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto a = kernel.pmaps().createPmap();
+        auto b = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        a->enter(drv, 5, frame, ProtRead);
+        b->enter(drv, 9, frame, ProtRead);
+        const auto &list = kernel.pmaps().pvList(frame);
+        ASSERT_EQ(list.size(), 2u);
+        a->remove(drv, 5, 6);
+        EXPECT_EQ(kernel.pmaps().pvList(frame).size(), 1u);
+        EXPECT_EQ(kernel.pmaps().pvList(frame)[0].pmap, b.get());
+        b->remove(drv, 9, 10);
+        EXPECT_TRUE(kernel.pmaps().pvList(frame).empty());
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapOps, PageProtectRemovesEveryMapping)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto a = kernel.pmaps().createPmap();
+        auto b = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        a->enter(drv, 5, frame, ProtReadWrite);
+        b->enter(drv, 9, frame, ProtReadWrite);
+        // Mark one mapping modified.
+        a->table().writePte(
+            5, hw::pte::make(frame, ProtReadWrite, true, true));
+
+        const bool modified = pmap::Pmap::pageProtect(
+            kernel.pmaps(), drv, frame, ProtNone);
+        EXPECT_TRUE(modified);
+        EXPECT_FALSE(hw::pte::valid(a->table().readPte(5)));
+        EXPECT_FALSE(hw::pte::valid(b->table().readPte(9)));
+        EXPECT_TRUE(kernel.pmaps().pvList(frame).empty());
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapOps, PageProtectReportsCleanPage)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto a = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        a->enter(drv, 5, frame, ProtRead);
+        EXPECT_FALSE(pmap::Pmap::pageProtect(kernel.pmaps(), drv,
+                                             frame, ProtNone));
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapOps, CollectDropsTablesForRebuild)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        pmap->enter(drv, 123, frame, ProtRead);
+        EXPECT_EQ(pmap->table().leafCount(), 1u);
+        pmap->collect(drv);
+        EXPECT_EQ(pmap->table().leafCount(), 0u);
+        // Reconstructed from scratch by later enters (Section 2).
+        pmap->enter(drv, 123, frame, ProtRead);
+        EXPECT_TRUE(hw::pte::valid(pmap->table().readPte(123)));
+        pmap->remove(drv, 123, 124);
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapBookkeeping, ActivateDeactivateTrackUse)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        kern::Cpu &cpu = drv.cpu();
+        EXPECT_FALSE(pmap->inUse(cpu.id()));
+        pmap->activate(cpu);
+        EXPECT_TRUE(pmap->inUse(cpu.id()));
+        EXPECT_EQ(cpu.cur_pmap, pmap.get());
+        EXPECT_EQ(pmap->useCount(), 1u);
+        pmap->deactivate(cpu);
+        EXPECT_FALSE(pmap->inUse(cpu.id()));
+        EXPECT_EQ(cpu.cur_pmap, nullptr);
+    });
+}
+
+TEST(PmapBookkeeping, DeactivateFlushesTlbOnBaselineHardware)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        kern::Cpu &cpu = drv.cpu();
+        pmap->activate(cpu);
+        cpu.tlb().insert(pmap->space(), 4, 99, ProtRead, false);
+        pmap->deactivate(cpu);
+        EXPECT_EQ(cpu.tlb().validCount(), 0u);
+    });
+}
+
+TEST(PmapBookkeeping, AsidTagsKeepEntriesAndInUse)
+{
+    hw::MachineConfig config = pmapConfig();
+    config.tlb_asid_tags = true;
+    inKernel(config, [](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        kern::Cpu &cpu = drv.cpu();
+        pmap->activate(cpu);
+        cpu.tlb().insert(pmap->space(), 4, 99, ProtRead, false);
+        pmap->deactivate(cpu);
+        // Entries survive; the pmap is still considered in use here
+        // (Section 10 extension).
+        EXPECT_TRUE(cpu.tlb().cachesSpace(pmap->space()));
+        EXPECT_TRUE(pmap->inUse(cpu.id()));
+        cpu.tlb().flushSpace(pmap->space());
+        pmap->clearInUse(cpu.id());
+        EXPECT_FALSE(pmap->inUse(cpu.id()));
+    });
+}
+
+TEST(PmapBookkeeping, KernelPmapInUseEverywhere)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &) {
+        pmap::Pmap &kp = kernel.pmaps().kernelPmap();
+        EXPECT_TRUE(kp.isKernel());
+        for (CpuId id = 0; id < kernel.machine().ncpus(); ++id)
+            EXPECT_TRUE(kp.inUse(id));
+        EXPECT_EQ(kp.useCount(), kernel.machine().ncpus());
+    });
+}
+
+TEST(PmapBookkeeping, SpaceIdsAreUniqueAndRegistered)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &) {
+        auto a = kernel.pmaps().createPmap();
+        auto b = kernel.pmaps().createPmap();
+        EXPECT_NE(a->space(), b->space());
+        EXPECT_EQ(kernel.pmaps().pmapForSpace(a->space()), a.get());
+        EXPECT_EQ(kernel.pmaps().pmapForSpace(b->space()), b.get());
+        const hw::SpaceId freed = a->space();
+        a.reset();
+        EXPECT_EQ(kernel.pmaps().pmapForSpace(freed), nullptr);
+    });
+}
+
+TEST(PmapLazy, UntouchedRangeSkipsShootdown)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        const std::uint64_t before = pmap->shootdowns_avoided_lazy;
+        pmap->remove(drv, 1000, 1010); // Nothing mapped there.
+        EXPECT_EQ(pmap->shootdowns_avoided_lazy, before + 1);
+        EXPECT_EQ(pmap->shootdowns_initiated, 0u);
+    });
+}
+
+TEST(PmapLazy, DisabledLazyShootsWhenLeafPresent)
+{
+    hw::MachineConfig config = pmapConfig();
+    config.lazy_evaluation = false;
+    inKernel(config, [](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        // Mark the pmap in use on another CPU so a shootdown is
+        // actually required.
+        pmap->activate(kernel.machine().cpu(1));
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        pmap->enter(drv, 50, frame, ProtReadWrite);
+        pmap->remove(drv, 50, 51);
+        // Now the leaf exists but holds no valid PTE; without lazy
+        // evaluation, removing again still shoots.
+        const std::uint64_t before = pmap->shootdowns_initiated;
+        pmap->remove(drv, 52, 53);
+        EXPECT_EQ(pmap->shootdowns_initiated, before + 1);
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapLazy, DisabledLazyStillSkipsMissingLeaves)
+{
+    hw::MachineConfig config = pmapConfig();
+    config.lazy_evaluation = false;
+    inKernel(config, [](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        pmap->activate(kernel.machine().cpu(1));
+        // The residual structure knowledge: an entirely absent second-
+        // level table still short-circuits the check (Section 7.2).
+        const std::uint64_t before = pmap->shootdowns_initiated;
+        pmap->remove(drv, 5000, 5004);
+        EXPECT_EQ(pmap->shootdowns_initiated, before);
+    });
+}
+
+TEST(PmapOps, LivePmapDestructionRebuiltByFaults)
+{
+    // Section 2: "Pmaps can even be destroyed at runtime; they will be
+    // reconstructed from scratch as page faults occur." Collect a
+    // running task's pmap while its threads actively use it.
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("phoenix");
+        VAddr va = 0;
+        bool stop = false;
+        bool data_ok = true;
+
+        kern::Thread *reader = kernel.spawnThread(
+            task, "reader",
+            [&](kern::Thread &self) {
+                ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                              4 * kPageSize, true));
+                for (int i = 0; i < 4; ++i)
+                    ASSERT_TRUE(
+                        self.store32(va + i * kPageSize, 500 + i));
+                while (!stop) {
+                    for (int i = 0; i < 4; ++i) {
+                        std::uint32_t value = 0;
+                        if (!self.load32(va + i * kPageSize, &value) ||
+                            value != static_cast<std::uint32_t>(500 +
+                                                                i)) {
+                            data_ok = false;
+                        }
+                    }
+                    self.cpu().advance(2 * kMsec);
+                }
+            },
+            1);
+        drv.sleep(20 * kMsec);
+
+        // Throw the page tables away out from under the reader.
+        kern::Thread *collector = kernel.spawnThread(
+            task, "collector",
+            [&](kern::Thread &self) { task->pmap().collect(self); },
+            2);
+        drv.join(*collector);
+        EXPECT_EQ(task->pmap().table().leafCount(), 0u);
+
+        drv.sleep(30 * kMsec); // Faults rebuild the pmap.
+        stop = true;
+        drv.join(*reader);
+
+        EXPECT_TRUE(data_ok);
+        EXPECT_GT(task->pmap().table().leafCount(), 0u);
+        EXPECT_TRUE(kernel.pmaps().auditTlbConsistency().empty());
+    });
+}
+
+TEST(PmapAudit, DetectsStaleEntry)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        pmap->enter(drv, 30, frame, ProtReadWrite);
+        EXPECT_TRUE(kernel.pmaps().auditTlbConsistency().empty());
+
+        // Plant a stale entry behind the pmap's back.
+        kernel.machine().cpu(2).tlb().insert(pmap->space(), 31, frame,
+                                             ProtReadWrite, false);
+        const auto violations = kernel.pmaps().auditTlbConsistency();
+        ASSERT_EQ(violations.size(), 1u);
+        EXPECT_NE(violations[0].find("cpu2"), std::string::npos);
+        kernel.machine().cpu(2).tlb().flushAll();
+        pmap->remove(drv, 30, 31);
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapAudit, DetectsProtMismatch)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        pmap->enter(drv, 30, frame, ProtRead);
+        kernel.machine().cpu(1).tlb().insert(pmap->space(), 30, frame,
+                                             ProtReadWrite, false);
+        EXPECT_FALSE(kernel.pmaps().auditTlbConsistency().empty());
+        kernel.machine().cpu(1).tlb().flushAll();
+        pmap->remove(drv, 30, 31);
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(ShootdownUnit, ActionQueueOverflowEscalatesToFullFlush)
+{
+    hw::MachineConfig config = pmapConfig();
+    config.action_queue_size = 2;
+    inKernel(config, [](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        kern::Cpu &remote = kernel.machine().cpu(2);
+        pmap->activate(remote);
+        // Park entries in the remote TLB so the flush is observable.
+        remote.tlb().insert(pmap->space(), 900, 3, ProtRead, false);
+
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        for (Vpn v = 0; v < 6; ++v)
+            pmap->enter(drv, v, frame, ProtReadWrite);
+        // Remote CPU 2 is idle (no thread), so actions queue up
+        // without being drained; the queue overflows.
+        for (Vpn v = 0; v < 6; ++v)
+            pmap->remove(drv, v, v + 1);
+        EXPECT_GT(kernel.pmaps().shoot().queue_overflows, 0u);
+        EXPECT_TRUE(
+            kernel.pmaps().shoot().stateFor(remote.id()).overflow);
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+} // namespace
+} // namespace mach

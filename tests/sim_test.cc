@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Unit tests for the simulator core: event queue, fibers, context.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/context.hh"
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+
+namespace mach::sim
+{
+namespace
+{
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+
+    while (!q.empty()) {
+        Tick when = 0;
+        q.popFront(&when)();
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (!q.empty()) {
+        Tick when = 0;
+        q.popFront(&when)();
+    }
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelRemovesEvent)
+{
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.schedule(10, [&] { fired = true; });
+    q.schedule(20, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.size(), 1u);
+    Tick when = 0;
+    q.popFront(&when)();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(when, 20u);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    Tick when = 0;
+    q.popFront(&when);
+    q.cancel(id); // Must not crash or disturb anything.
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelDefaultIdIsNoop)
+{
+    EventQueue q;
+    q.cancel(EventId{});
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeReportsEarliest)
+{
+    EventQueue q;
+    q.schedule(50, [] {});
+    q.schedule(40, [] {});
+    EXPECT_EQ(q.nextTime(), 40u);
+}
+
+TEST(Context, SleepAdvancesVirtualTime)
+{
+    Context ctx;
+    Tick woke_at = 0;
+    ctx.spawn("sleeper", [&] {
+        ctx.sleep(100);
+        woke_at = ctx.now();
+    });
+    ctx.run();
+    EXPECT_EQ(woke_at, 100u);
+    EXPECT_EQ(ctx.now(), 100u);
+}
+
+TEST(Context, ZeroFibersAfterCompletion)
+{
+    Context ctx;
+    ctx.spawn("a", [&] { ctx.sleep(1); });
+    ctx.spawn("b", [&] { ctx.sleep(2); });
+    EXPECT_EQ(ctx.liveFiberCount(), 2u);
+    ctx.run();
+    EXPECT_EQ(ctx.liveFiberCount(), 0u);
+}
+
+TEST(Context, InterleavesFibersDeterministically)
+{
+    Context ctx;
+    std::string trace;
+    ctx.spawn("a", [&] {
+        trace += 'a';
+        ctx.sleep(10);
+        trace += 'A';
+    });
+    ctx.spawn("b", [&] {
+        trace += 'b';
+        ctx.sleep(5);
+        trace += 'B';
+    });
+    ctx.run();
+    EXPECT_EQ(trace, "abBA");
+}
+
+TEST(Context, WakeResumesBlockedFiber)
+{
+    Context ctx;
+    bool resumed = false;
+    FiberId blocked = ctx.spawn("blocked", [&] {
+        ctx.block();
+        resumed = true;
+    });
+    ctx.spawn("waker", [&] {
+        ctx.sleep(50);
+        ctx.scheduleWake(blocked, ctx.now());
+    });
+    ctx.run();
+    EXPECT_TRUE(resumed);
+    EXPECT_EQ(ctx.now(), 50u);
+}
+
+TEST(Context, WakeOfFinishedFiberIsIgnored)
+{
+    Context ctx;
+    FiberId id = ctx.spawn("quick", [] {});
+    ctx.spawn("late-waker", [&] {
+        ctx.sleep(10);
+        ctx.scheduleWake(id, ctx.now() + 5);
+    });
+    ctx.run(); // Must not panic or resurrect the finished fiber.
+    EXPECT_EQ(ctx.liveFiberCount(), 0u);
+}
+
+TEST(Context, RunUntilBoundsTime)
+{
+    Context ctx;
+    int ticks = 0;
+    std::function<void()> tick = [&] {
+        ++ticks;
+        ctx.scheduleCall(ctx.now() + 10, tick);
+    };
+    ctx.scheduleCall(0, tick);
+    ctx.run(35);
+    EXPECT_EQ(ticks, 4); // t = 0, 10, 20, 30.
+    EXPECT_LE(ctx.now(), 35u);
+}
+
+TEST(Context, RequestStopEndsRun)
+{
+    Context ctx;
+    int events = 0;
+    ctx.scheduleCall(1, [&] { ++events; });
+    ctx.scheduleCall(2, [&] {
+        ++events;
+        ctx.requestStop();
+    });
+    ctx.scheduleCall(3, [&] { ++events; });
+    ctx.run();
+    EXPECT_EQ(events, 2);
+    // A later run() drains the remainder.
+    ctx.run();
+    EXPECT_EQ(events, 3);
+}
+
+TEST(Context, SpawnFromWithinFiber)
+{
+    Context ctx;
+    std::vector<int> order;
+    ctx.spawn("parent", [&] {
+        order.push_back(1);
+        ctx.spawn("child", [&] { order.push_back(2); });
+        ctx.sleep(10);
+        order.push_back(3);
+    });
+    ctx.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Context, ManyFibersAllComplete)
+{
+    Context ctx;
+    int done = 0;
+    for (int i = 0; i < 200; ++i) {
+        ctx.spawn("f" + std::to_string(i), [&ctx, &done, i] {
+            ctx.sleep(static_cast<Tick>(i % 17));
+            ++done;
+        });
+    }
+    ctx.run();
+    EXPECT_EQ(done, 200);
+}
+
+TEST(Context, FiberNameLookup)
+{
+    Context ctx;
+    FiberId id = ctx.spawn("named", [&] { ctx.sleep(5); });
+    EXPECT_EQ(ctx.fiberName(id), "named");
+    ctx.run();
+    EXPECT_EQ(ctx.fiberName(id), "<gone>");
+}
+
+TEST(Context, NestedSpawnDeepChain)
+{
+    // Each fiber spawns the next; all must run.
+    Context ctx;
+    int depth = 0;
+    std::function<void(int)> chain = [&](int remaining) {
+        ++depth;
+        if (remaining > 0) {
+            ctx.spawn("link", [&chain, remaining] {
+                chain(remaining - 1);
+            });
+        }
+    };
+    ctx.spawn("root", [&] { chain(50); });
+    ctx.run();
+    EXPECT_EQ(depth, 51);
+}
+
+TEST(Fiber, CurrentIsNullInScheduler)
+{
+    EXPECT_EQ(Fiber::current(), nullptr);
+    Context ctx;
+    const Fiber *seen = nullptr;
+    ctx.spawn("probe", [&] { seen = Fiber::current(); });
+    ctx.run();
+    EXPECT_NE(seen, nullptr);
+    EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(EventQueue, ScheduledCountIsMonotonic)
+{
+    EventQueue q;
+    EXPECT_EQ(q.scheduledCount(), 0u);
+    EventId a = q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.scheduledCount(), 2u);
+    q.cancel(a); // Cancellation does not un-count.
+    EXPECT_EQ(q.scheduledCount(), 2u);
+}
+
+TEST(Context, RunReturnsDispatchedCount)
+{
+    Context ctx;
+    for (int i = 0; i < 5; ++i)
+        ctx.scheduleCall(i + 1, [] {});
+    EXPECT_EQ(ctx.run(3), 3u);
+    EXPECT_EQ(ctx.run(), 2u);
+}
+
+TEST(Context, SpawnDelayDefersStart)
+{
+    Context ctx;
+    Tick started_at = 0;
+    ctx.spawn(
+        "late", [&] { started_at = ctx.now(); }, 250);
+    ctx.run();
+    EXPECT_EQ(started_at, 250u);
+}
+
+TEST(Context, DeterministicReplay)
+{
+    // Two identical simulations produce identical traces.
+    auto run_once = [] {
+        Context ctx;
+        std::string trace;
+        for (int i = 0; i < 5; ++i) {
+            ctx.spawn("f" + std::to_string(i), [&ctx, &trace, i] {
+                for (int j = 0; j < 3; ++j) {
+                    trace += static_cast<char>('a' + i);
+                    ctx.sleep(static_cast<Tick>((i * 7 + j * 3) % 11 +
+                                                1));
+                }
+            });
+        }
+        ctx.run();
+        return trace;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace mach::sim

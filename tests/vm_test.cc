@@ -1,0 +1,659 @@
+/**
+ * @file
+ * Tests for the machine-independent VM system: address-space
+ * operations, copy-on-write, inheritance, and cross-task access.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/kernel.hh"
+
+namespace mach
+{
+namespace
+{
+
+hw::MachineConfig
+vmConfig()
+{
+    setLogQuiet(true);
+    hw::MachineConfig config;
+    config.ncpus = 4;
+    return config;
+}
+
+void
+inKernel(const std::function<void(vm::Kernel &, kern::Thread &)> &body)
+{
+    vm::Kernel kernel(vmConfig());
+    kernel.start();
+    bool finished = false;
+    kernel.spawnThread(nullptr, "vm-driver", [&](kern::Thread &driver) {
+        body(kernel, driver);
+        finished = true;
+        kernel.machine().ctx().requestStop();
+    });
+    kernel.machine().run();
+    ASSERT_TRUE(finished);
+}
+
+/** Spawn a thread in @p task, run @p body there, join it. */
+void
+inTask(vm::Kernel &kernel, kern::Thread &driver, vm::Task *task,
+       const std::function<void(kern::Thread &)> &body)
+{
+    kern::Thread *thread =
+        kernel.spawnThread(task, "task-body", body);
+    driver.join(*thread);
+}
+
+TEST(VmAllocate, AnywherePicksPageAlignedSpace)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                          3 * kPageSize, true));
+            EXPECT_EQ(va & kPageMask, 0u);
+            EXPECT_GE(va, vm::kUserLo);
+            EXPECT_EQ(task->map().mappedBytes(), 3 * kPageSize);
+        });
+    });
+}
+
+TEST(VmAllocate, SizeRoundsUpToPages)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &va, 100, true));
+            EXPECT_EQ(task->map().mappedBytes(), kPageSize);
+        });
+    });
+}
+
+TEST(VmAllocate, FixedAddressAndOverlapRejection)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr fixed = vm::kUserLo + 64 * kPageSize;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &fixed,
+                                          2 * kPageSize, false));
+            // Overlapping fixed request fails.
+            VAddr overlap = fixed + kPageSize;
+            EXPECT_FALSE(kernel.vmAllocate(self, *task, &overlap,
+                                           kPageSize, false));
+            // Adjacent is fine.
+            VAddr next = fixed + 2 * kPageSize;
+            EXPECT_TRUE(kernel.vmAllocate(self, *task, &next,
+                                          kPageSize, false));
+        });
+    });
+}
+
+TEST(VmAllocate, ZeroSizeFails)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            EXPECT_FALSE(kernel.vmAllocate(self, *task, &va, 0, true));
+        });
+    });
+}
+
+TEST(VmAccess, ZeroFillThenReadBack)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                          2 * kPageSize, true));
+            std::uint32_t value = 0xffffffff;
+            ASSERT_TRUE(self.load32(va, &value));
+            EXPECT_EQ(value, 0u); // Fresh anonymous memory reads zero.
+
+            ASSERT_TRUE(self.store32(va + 16, 0xfeedface));
+            ASSERT_TRUE(self.load32(va + 16, &value));
+            EXPECT_EQ(value, 0xfeedfaceu);
+            EXPECT_GT(kernel.zero_fills, 0u);
+        });
+    });
+}
+
+TEST(VmAccess, UnmappedAddressFaultsUnrecoverably)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            std::uint32_t value = 0;
+            EXPECT_FALSE(self.load32(vm::kUserLo + 0x100000, &value));
+            EXPECT_GT(kernel.faults_failed, 0u);
+        });
+    });
+}
+
+TEST(VmDeallocate, UnmapsAndFreesFrames)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        const std::uint32_t before = kernel.machine().mem().freeFrames();
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                          4 * kPageSize, true));
+            for (int i = 0; i < 4; ++i)
+                ASSERT_TRUE(self.store32(va + i * kPageSize, i));
+            ASSERT_TRUE(
+                kernel.vmDeallocate(self, *task, va, 4 * kPageSize));
+            std::uint32_t value = 0;
+            EXPECT_FALSE(self.load32(va, &value));
+        });
+        // Pages (and the page-table leaf stays, but data frames) are
+        // back; the table leaf is reclaimed at task destroy.
+        EXPECT_GE(kernel.machine().mem().freeFrames() + 1, before - 1);
+    });
+}
+
+TEST(VmDeallocate, MiddleOfRegionLeavesEnds)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                          6 * kPageSize, true));
+            for (int i = 0; i < 6; ++i)
+                ASSERT_TRUE(self.store32(va + i * kPageSize, 100 + i));
+            // Punch a hole in pages 2-3.
+            ASSERT_TRUE(kernel.vmDeallocate(
+                self, *task, va + 2 * kPageSize, 2 * kPageSize));
+
+            std::uint32_t value = 0;
+            ASSERT_TRUE(self.load32(va + kPageSize, &value));
+            EXPECT_EQ(value, 101u);
+            ASSERT_TRUE(self.load32(va + 5 * kPageSize, &value));
+            EXPECT_EQ(value, 105u);
+            EXPECT_FALSE(self.load32(va + 2 * kPageSize, &value));
+            EXPECT_FALSE(self.load32(va + 3 * kPageSize, &value));
+        });
+    });
+}
+
+TEST(VmProtect, ReadOnlyBlocksWritesAllowsReads)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(
+                kernel.vmAllocate(self, *task, &va, kPageSize, true));
+            ASSERT_TRUE(self.store32(va, 7));
+            ASSERT_TRUE(kernel.vmProtect(self, *task, va, kPageSize,
+                                         ProtRead));
+            std::uint32_t value = 0;
+            ASSERT_TRUE(self.load32(va, &value));
+            EXPECT_EQ(value, 7u);
+            EXPECT_FALSE(self.store32(va, 8));
+            ASSERT_TRUE(self.load32(va, &value));
+            EXPECT_EQ(value, 7u);
+        });
+    });
+}
+
+TEST(VmProtect, ReenablingWriteRepairsLazily)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(
+                kernel.vmAllocate(self, *task, &va, kPageSize, true));
+            ASSERT_TRUE(self.store32(va, 1));
+            ASSERT_TRUE(kernel.vmProtect(self, *task, va, kPageSize,
+                                         ProtRead));
+            EXPECT_FALSE(self.store32(va, 2));
+            ASSERT_TRUE(kernel.vmProtect(self, *task, va, kPageSize,
+                                         ProtReadWrite));
+            // The upgrade is repaired by a fault, not a shootdown.
+            EXPECT_TRUE(self.store32(va, 3));
+            std::uint32_t value = 0;
+            ASSERT_TRUE(self.load32(va, &value));
+            EXPECT_EQ(value, 3u);
+        });
+    });
+}
+
+TEST(VmProtect, ProtNoneRemovesAllAccess)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(
+                kernel.vmAllocate(self, *task, &va, kPageSize, true));
+            ASSERT_TRUE(self.store32(va, 5));
+            ASSERT_TRUE(kernel.vmProtect(self, *task, va, kPageSize,
+                                         ProtNone));
+            std::uint32_t value = 0;
+            EXPECT_FALSE(self.load32(va, &value));
+            EXPECT_FALSE(self.store32(va, 6));
+        });
+    });
+}
+
+TEST(VmCopy, CopySeesSourceAndIsolatesMutations)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr src = 0;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &src,
+                                          2 * kPageSize, true));
+            ASSERT_TRUE(self.store32(src, 0xaaaa));
+            ASSERT_TRUE(self.store32(src + kPageSize, 0xbbbb));
+
+            VAddr dst = 0;
+            ASSERT_TRUE(kernel.vmCopy(self, *task, src, 2 * kPageSize,
+                                      &dst));
+            std::uint32_t value = 0;
+            ASSERT_TRUE(self.load32(dst, &value));
+            EXPECT_EQ(value, 0xaaaau);
+
+            // Mutating the copy leaves the source alone...
+            ASSERT_TRUE(self.store32(dst, 0x1111));
+            ASSERT_TRUE(self.load32(src, &value));
+            EXPECT_EQ(value, 0xaaaau);
+            // ...and mutating the source leaves the copy alone.
+            ASSERT_TRUE(self.store32(src + kPageSize, 0x2222));
+            ASSERT_TRUE(self.load32(dst + kPageSize, &value));
+            EXPECT_EQ(value, 0xbbbbu);
+            EXPECT_GT(kernel.cow_copies, 0u);
+        });
+    });
+}
+
+TEST(VmCopy, UntouchedCopyPagesShareFrames)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr src = 0;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &src,
+                                          4 * kPageSize, true));
+            for (int i = 0; i < 4; ++i)
+                ASSERT_TRUE(self.store32(src + i * kPageSize, i));
+            const std::uint32_t free_before =
+                kernel.machine().mem().freeFrames();
+            VAddr dst = 0;
+            ASSERT_TRUE(kernel.vmCopy(self, *task, src, 4 * kPageSize,
+                                      &dst));
+            // Reading the whole copy must not allocate data frames.
+            for (int i = 0; i < 4; ++i) {
+                std::uint32_t value = 0;
+                ASSERT_TRUE(self.load32(dst + i * kPageSize, &value));
+                EXPECT_EQ(value, static_cast<std::uint32_t>(i));
+            }
+            // Allow for one page-table leaf allocation, nothing more.
+            EXPECT_GE(kernel.machine().mem().freeFrames() + 1,
+                      free_before);
+        });
+    });
+}
+
+TEST(Fork, ShareInheritanceIsReadWriteShared)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *parent = kernel.createTask("parent");
+        inTask(kernel, drv, parent, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(
+                kernel.vmAllocate(self, *parent, &va, kPageSize, true));
+            ASSERT_TRUE(self.store32(va, 42));
+            ASSERT_TRUE(kernel.vmInherit(self, *parent, va, kPageSize,
+                                         vm::Inherit::Share));
+            vm::Task *child =
+                kernel.forkTask(self, *parent, "child");
+
+            kern::Thread *in_child = kernel.spawnThread(
+                child, "child-main", [&](kern::Thread &ct) {
+                    std::uint32_t value = 0;
+                    ASSERT_TRUE(ct.load32(va, &value));
+                    EXPECT_EQ(value, 42u);
+                    ASSERT_TRUE(ct.store32(va, 43));
+                });
+            self.join(*in_child);
+            // The child's write is visible to the parent.
+            std::uint32_t value = 0;
+            ASSERT_TRUE(self.load32(va, &value));
+            EXPECT_EQ(value, 43u);
+        });
+    });
+}
+
+TEST(Fork, CopyInheritanceIsIsolatedBothWays)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *parent = kernel.createTask("parent");
+        inTask(kernel, drv, parent, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(
+                kernel.vmAllocate(self, *parent, &va, kPageSize, true));
+            ASSERT_TRUE(self.store32(va, 7));
+            // Default inheritance is Copy.
+            vm::Task *child = kernel.forkTask(self, *parent, "child");
+
+            kern::Thread *in_child = kernel.spawnThread(
+                child, "child-main", [&](kern::Thread &ct) {
+                    std::uint32_t value = 0;
+                    ASSERT_TRUE(ct.load32(va, &value));
+                    EXPECT_EQ(value, 7u); // Sees the pre-fork data.
+                    ASSERT_TRUE(ct.store32(va, 8));
+                });
+            self.join(*in_child);
+
+            std::uint32_t value = 0;
+            ASSERT_TRUE(self.load32(va, &value));
+            EXPECT_EQ(value, 7u); // Child's write invisible here.
+
+            ASSERT_TRUE(self.store32(va, 9));
+            kern::Thread *check_child = kernel.spawnThread(
+                child, "child-check", [&](kern::Thread &ct) {
+                    std::uint32_t v = 0;
+                    ASSERT_TRUE(ct.load32(va, &v));
+                    EXPECT_EQ(v, 8u); // Parent's write invisible there.
+                });
+            self.join(*check_child);
+        });
+    });
+}
+
+TEST(Fork, NoneInheritanceLeavesChildUnmapped)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *parent = kernel.createTask("parent");
+        inTask(kernel, drv, parent, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(
+                kernel.vmAllocate(self, *parent, &va, kPageSize, true));
+            ASSERT_TRUE(self.store32(va, 1));
+            ASSERT_TRUE(kernel.vmInherit(self, *parent, va, kPageSize,
+                                         vm::Inherit::None));
+            vm::Task *child = kernel.forkTask(self, *parent, "child");
+            kern::Thread *in_child = kernel.spawnThread(
+                child, "child-main", [&](kern::Thread &ct) {
+                    std::uint32_t value = 0;
+                    EXPECT_FALSE(ct.load32(va, &value));
+                });
+            self.join(*in_child);
+        });
+    });
+}
+
+TEST(VmReadWrite, CrossTaskTransfer)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("target");
+        VAddr va = 0;
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                          2 * kPageSize, true));
+            ASSERT_TRUE(self.store32(va, 0x12345678));
+        });
+
+        // The driver (a kernel thread with no task of its own)
+        // operates on the target task's address space -- one of the
+        // remote-space operations of Section 2.
+        std::uint32_t buffer = 0;
+        ASSERT_TRUE(kernel.vmRead(drv, *task, va, &buffer, 4));
+        EXPECT_EQ(buffer, 0x12345678u);
+
+        const std::uint32_t payload = 0xcafef00d;
+        ASSERT_TRUE(kernel.vmWrite(drv, *task, va + 8, &payload, 4));
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            std::uint32_t value = 0;
+            ASSERT_TRUE(self.load32(va + 8, &value));
+            EXPECT_EQ(value, 0xcafef00du);
+        });
+    });
+}
+
+TEST(VmReadWrite, SpansPageBoundary)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        VAddr va = 0;
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                          2 * kPageSize, true));
+        });
+        std::vector<std::uint8_t> out(256);
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = static_cast<std::uint8_t>(i * 7);
+        ASSERT_TRUE(kernel.vmWrite(drv, *task, va + kPageSize - 128,
+                                   out.data(),
+                                   static_cast<std::uint32_t>(
+                                       out.size())));
+        std::vector<std::uint8_t> in(out.size(), 0);
+        ASSERT_TRUE(kernel.vmRead(drv, *task, va + kPageSize - 128,
+                                  in.data(),
+                                  static_cast<std::uint32_t>(
+                                      in.size())));
+        EXPECT_EQ(in, out);
+    });
+}
+
+TEST(Kmem, AllocTouchFreeRoundTrip)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        const VAddr buf = kernel.kmemAlloc(drv, 2 * kPageSize);
+        ASSERT_NE(buf, 0u);
+        EXPECT_GE(buf, kern::Machine::kKernelBase);
+        ASSERT_TRUE(drv.store32(buf, 0xabcd));
+        std::uint32_t readback = 0;
+        ASSERT_TRUE(drv.load32(buf, &readback));
+        EXPECT_EQ(readback, 0xabcdu);
+        kernel.kmemFree(drv, buf, 2 * kPageSize);
+        std::uint32_t value = 0;
+        EXPECT_FALSE(drv.load32(buf, &value));
+    });
+}
+
+TEST(TaskLifecycle, DestroyReleasesEverything)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        const std::uint32_t free_before =
+            kernel.machine().mem().freeFrames();
+        vm::Task *task = kernel.createTask("doomed");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                          8 * kPageSize, true));
+            for (int i = 0; i < 8; ++i)
+                ASSERT_TRUE(self.store32(va + i * kPageSize, i));
+        });
+        kernel.destroyTask(drv, task);
+        EXPECT_EQ(kernel.machine().mem().freeFrames(), free_before);
+        EXPECT_TRUE(kernel.pmaps().auditTlbConsistency().empty());
+    });
+}
+
+TEST(VmSimplify, ProtectRoundTripRecoalesces)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                          8 * kPageSize, true));
+            EXPECT_EQ(task->map().entries().size(), 1u);
+
+            // Clipping the middle fragments the entry...
+            ASSERT_TRUE(kernel.vmProtect(self, *task,
+                                         va + 2 * kPageSize,
+                                         2 * kPageSize, ProtRead));
+            EXPECT_EQ(task->map().entries().size(), 3u);
+
+            // ...and restoring the protection re-merges it.
+            ASSERT_TRUE(kernel.vmProtect(self, *task,
+                                         va + 2 * kPageSize,
+                                         2 * kPageSize,
+                                         ProtReadWrite));
+            EXPECT_EQ(task->map().entries().size(), 1u);
+            EXPECT_EQ(task->map().mappedBytes(), 8 * kPageSize);
+        });
+    });
+}
+
+TEST(VmSimplify, DoesNotMergeDifferentObjects)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            // Two adjacent allocations have distinct objects and must
+            // never merge, even with identical attributes.
+            VAddr a = 0, b = 0;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &a,
+                                          2 * kPageSize, true));
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &b,
+                                          2 * kPageSize, true));
+            ASSERT_EQ(b, a + 2 * kPageSize); // Adjacent.
+            task->map().simplify(a, b + 2 * kPageSize);
+            EXPECT_EQ(task->map().entries().size(), 2u);
+        });
+    });
+}
+
+TEST(VmSimplify, DataSurvivesRecoalescing)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            VAddr va = 0;
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                          6 * kPageSize, true));
+            for (int i = 0; i < 6; ++i)
+                ASSERT_TRUE(self.store32(va + i * kPageSize, 40 + i));
+            ASSERT_TRUE(kernel.vmProtect(self, *task, va + kPageSize,
+                                         kPageSize, ProtRead));
+            ASSERT_TRUE(kernel.vmProtect(self, *task, va + kPageSize,
+                                         kPageSize, ProtReadWrite));
+            for (int i = 0; i < 6; ++i) {
+                std::uint32_t value = 0;
+                ASSERT_TRUE(self.load32(va + i * kPageSize, &value));
+                EXPECT_EQ(value, static_cast<std::uint32_t>(40 + i));
+            }
+            ASSERT_TRUE(self.store32(va + kPageSize, 99));
+        });
+    });
+}
+
+TEST(VmRegion, WalksMappedRegions)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        VAddr a = 0, b = 0;
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &a,
+                                          2 * kPageSize, true));
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &b,
+                                          3 * kPageSize, true));
+            ASSERT_TRUE(self.store32(a, 1)); // One resident page in a.
+            ASSERT_TRUE(kernel.vmProtect(self, *task, b, 3 * kPageSize,
+                                         ProtRead));
+        });
+
+        VAddr cursor = 0;
+        vm::Kernel::RegionInfo info;
+        ASSERT_TRUE(kernel.vmRegion(drv, *task, &cursor, &info));
+        EXPECT_EQ(info.start, a);
+        EXPECT_EQ(info.size, 2 * kPageSize);
+        EXPECT_EQ(info.cur_prot, ProtReadWrite);
+        EXPECT_EQ(info.resident_pages, 1u);
+
+        cursor = info.start + info.size;
+        ASSERT_TRUE(kernel.vmRegion(drv, *task, &cursor, &info));
+        EXPECT_EQ(info.start, b);
+        EXPECT_EQ(info.cur_prot, ProtRead);
+        EXPECT_EQ(info.max_prot, ProtReadWrite);
+
+        cursor = info.start + info.size;
+        EXPECT_FALSE(kernel.vmRegion(drv, *task, &cursor, &info));
+    });
+}
+
+TEST(VmWire, WiringFaultsInAndPins)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        VAddr va = 0;
+        inTask(kernel, drv, task, [&](kern::Thread &self) {
+            ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                          3 * kPageSize, true));
+        });
+        // Wire from a thread *outside* the task (a remote-space op).
+        ASSERT_TRUE(kernel.vmWire(drv, *task, va, 3 * kPageSize, true));
+
+        vm::Kernel::RegionInfo info;
+        VAddr cursor = va;
+        ASSERT_TRUE(kernel.vmRegion(drv, *task, &cursor, &info));
+        EXPECT_EQ(info.resident_pages, 3u); // Faulted in by wiring.
+
+        ASSERT_TRUE(
+            kernel.vmWire(drv, *task, va, 3 * kPageSize, false));
+    });
+}
+
+TEST(VmWire, UnmappedRangeFails)
+{
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("t");
+        EXPECT_FALSE(kernel.vmWire(drv, *task, vm::kUserLo + 0x40000,
+                                   kPageSize, true));
+    });
+}
+
+TEST(VmObjectUnit, ShadowChainLookup)
+{
+    hw::PhysMem mem(64);
+    vm::ObjectPtr bottom = vm::VmObject::create(&mem, 8);
+    const Pfn f1 = mem.allocFrame();
+    bottom->insertPage(3, f1);
+
+    vm::ObjectPtr top = vm::VmObject::makeShadow(bottom, 0, 8);
+    EXPECT_EQ(top->chainDepth(), 1u);
+
+    vm::PageLookup found = top->lookupChain(3);
+    ASSERT_NE(found.page, nullptr);
+    EXPECT_EQ(found.depth, 1u);
+    EXPECT_EQ(found.object, bottom.get());
+
+    // A private page in the shadow hides the backing page.
+    const Pfn f2 = mem.allocFrame();
+    top->insertPage(3, f2);
+    found = top->lookupChain(3);
+    EXPECT_EQ(found.depth, 0u);
+    EXPECT_EQ(found.page->pfn, f2);
+
+    EXPECT_EQ(top->lookupChain(5).page, nullptr);
+}
+
+TEST(VmObjectUnit, ShadowOffsetShiftsLookup)
+{
+    hw::PhysMem mem(64);
+    vm::ObjectPtr bottom = vm::VmObject::create(&mem, 16);
+    const Pfn f = mem.allocFrame();
+    bottom->insertPage(10, f);
+    vm::ObjectPtr top = vm::VmObject::makeShadow(bottom, 8, 8);
+    // Offset 2 in the shadow maps to offset 10 below.
+    vm::PageLookup found = top->lookupChain(2);
+    ASSERT_NE(found.page, nullptr);
+    EXPECT_EQ(found.page->pfn, f);
+}
+
+} // namespace
+} // namespace mach

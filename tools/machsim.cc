@@ -1,0 +1,248 @@
+/**
+ * @file
+ * machsim -- the command-line driver for the simulated machine.
+ *
+ * Runs any of the paper's workloads on a machine you configure from
+ * the command line, prints the xpr shootdown analysis and the machine
+ * statistics, and optionally streams the trace.
+ *
+ *   machsim --app tester --children 8
+ *   machsim --app camelot --ncpus 32 --transactions 300
+ *   machsim --app mach-build --lazy off
+ *   machsim --app agora --trace shootdown,pmap
+ *   machsim --app parthenon --strategy delayed-flush
+ *   machsim --app tester --pools 4 --ncpus 64
+ *
+ * Run `machsim --help` for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "apps/agora.hh"
+#include "apps/camelot.hh"
+#include "apps/consistency_tester.hh"
+#include "apps/mach_build.hh"
+#include "apps/parthenon.hh"
+#include "base/trace.hh"
+#include "pmap/shootdown.hh"
+#include "vm/kernel.hh"
+#include "xpr/machine_stats.hh"
+
+using namespace mach;
+
+namespace
+{
+
+struct Options
+{
+    std::string app = "tester";
+    unsigned ncpus = 16;
+    unsigned pools = 1;
+    unsigned children = 8;     // tester
+    unsigned jobs = 48;        // mach-build
+    unsigned transactions = 200; // camelot
+    unsigned runs = 5;         // parthenon / agora
+    std::uint64_t seed = 0x4d616368u;
+    bool lazy = true;
+    bool shootdown = true;
+    bool high_priority_ipi = false;
+    bool multicast = false;
+    bool broadcast = false;
+    bool software_reload = false;
+    bool no_writeback = false;
+    bool remote_invalidate = false;
+    bool asid_tags = false;
+    bool delayed_flush = false;
+    std::string trace_spec;
+};
+
+void
+usage()
+{
+    std::printf(
+        "machsim -- simulated-Multimax workload driver\n\n"
+        "  --app NAME          tester | mach-build | parthenon | "
+        "agora | camelot\n"
+        "  --ncpus N           processors (default 16)\n"
+        "  --pools N           Section 8 kernel pools (default 1)\n"
+        "  --seed N            deterministic seed\n"
+        "  --children N        tester child threads (default 8)\n"
+        "  --jobs N            mach-build compile jobs (default 48)\n"
+        "  --transactions N    camelot transactions (default 200)\n"
+        "  --runs N            parthenon/agora successive runs\n"
+        "  --lazy on|off       lazy evaluation (Table 1 toggle)\n"
+        "  --no-shootdown      disable the algorithm (negative test)\n"
+        "  --strategy S        shootdown | delayed-flush (Section 3)\n"
+        "  --hipri-ipi         Section 9 high-priority sw interrupt\n"
+        "  --multicast / --broadcast     Section 9 IPI options\n"
+        "  --software-reload / --no-writeback / --remote-invalidate\n"
+        "                      Section 9 TLB options\n"
+        "  --asid-tags         Section 10 tagged-TLB extension\n"
+        "  --trace SPEC        e.g. shootdown,pmap,vm (to stderr)\n");
+}
+
+bool
+parse(int argc, char **argv, Options *opt)
+{
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("flag %s needs a value", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--help" || flag == "-h") {
+            usage();
+            return false;
+        } else if (flag == "--app") {
+            opt->app = need_value(i);
+        } else if (flag == "--ncpus") {
+            opt->ncpus = static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--pools") {
+            opt->pools = static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--seed") {
+            opt->seed = strtoull(need_value(i), nullptr, 0);
+        } else if (flag == "--children") {
+            opt->children = static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--jobs") {
+            opt->jobs = static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--transactions") {
+            opt->transactions =
+                static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--runs") {
+            opt->runs = static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--lazy") {
+            opt->lazy = std::strcmp(need_value(i), "off") != 0;
+        } else if (flag == "--no-shootdown") {
+            opt->shootdown = false;
+        } else if (flag == "--strategy") {
+            opt->delayed_flush =
+                std::strcmp(need_value(i), "delayed-flush") == 0;
+        } else if (flag == "--hipri-ipi") {
+            opt->high_priority_ipi = true;
+        } else if (flag == "--multicast") {
+            opt->multicast = true;
+        } else if (flag == "--broadcast") {
+            opt->broadcast = true;
+        } else if (flag == "--software-reload") {
+            opt->software_reload = true;
+        } else if (flag == "--no-writeback") {
+            opt->no_writeback = true;
+        } else if (flag == "--remote-invalidate") {
+            opt->remote_invalidate = true;
+            opt->no_writeback = true;
+        } else if (flag == "--asid-tags") {
+            opt->asid_tags = true;
+        } else if (flag == "--trace") {
+            opt->trace_spec = need_value(i);
+        } else {
+            fatal("unknown flag '%s' (try --help)", flag.c_str());
+        }
+    }
+    return true;
+}
+
+hw::MachineConfig
+toConfig(const Options &opt)
+{
+    hw::MachineConfig config;
+    config.ncpus = opt.ncpus;
+    config.kernel_pools = opt.pools;
+    config.seed = opt.seed;
+    config.lazy_evaluation = opt.lazy;
+    config.shootdown_enabled = opt.shootdown;
+    config.high_priority_ipi = opt.high_priority_ipi;
+    config.multicast_ipi = opt.multicast;
+    config.broadcast_ipi = opt.broadcast;
+    config.tlb_software_reload = opt.software_reload;
+    config.tlb_no_refmod_writeback = opt.no_writeback;
+    config.tlb_remote_invalidate = opt.remote_invalidate;
+    config.tlb_asid_tags = opt.asid_tags;
+    if (opt.delayed_flush) {
+        config.consistency_strategy =
+            hw::ConsistencyStrategy::DelayedFlush;
+        config.tlb_no_refmod_writeback = true;
+    }
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parse(argc, argv, &opt))
+        return 0;
+    if (!opt.trace_spec.empty())
+        trace::enable(trace::parseCategories(opt.trace_spec));
+
+    vm::Kernel kernel(toConfig(opt));
+
+    std::unique_ptr<apps::Workload> app;
+    apps::ConsistencyTester *tester = nullptr;
+    if (opt.app == "tester") {
+        auto owned = std::make_unique<apps::ConsistencyTester>(
+            apps::ConsistencyTester::Params{.children = opt.children,
+                                            .warmup = 30 * kMsec});
+        tester = owned.get();
+        app = std::move(owned);
+    } else if (opt.app == "mach-build") {
+        app = std::make_unique<apps::MachBuild>(
+            apps::MachBuild::Params{.jobs = opt.jobs});
+    } else if (opt.app == "parthenon") {
+        apps::Parthenon::Params params;
+        params.runs = opt.runs;
+        app = std::make_unique<apps::Parthenon>(params);
+    } else if (opt.app == "agora") {
+        apps::Agora::Params params;
+        params.runs = opt.runs;
+        app = std::make_unique<apps::Agora>(params);
+    } else if (opt.app == "camelot") {
+        app = std::make_unique<apps::Camelot>(
+            apps::Camelot::Params{.transactions = opt.transactions});
+    } else {
+        fatal("unknown --app '%s' (try --help)", opt.app.c_str());
+    }
+
+    std::printf("machsim: %s on %u CPUs (seed 0x%llx)\n",
+                opt.app.c_str(), opt.ncpus,
+                static_cast<unsigned long long>(opt.seed));
+    const apps::WorkloadResult result = app->execute(kernel);
+
+    std::printf("\nvirtual runtime: %.2f s\n",
+                static_cast<double>(result.virtual_runtime) / kSec);
+    std::printf("%s\n",
+                xpr::formatRow("kernel",
+                               result.analysis.kernel_initiator,
+                               result.analysis.kernel_initiator.events <
+                                   16)
+                    .c_str());
+    std::printf("%s\n",
+                xpr::formatRow("user", result.analysis.user_initiator,
+                               result.analysis.user_initiator.events <
+                                   16)
+                    .c_str());
+    std::printf("%s\n",
+                xpr::formatRow("responder", result.analysis.responder,
+                               result.analysis.responder.events < 16)
+                    .c_str());
+    std::printf("lazily avoided shootdowns: %llu\n\n",
+                static_cast<unsigned long long>(result.lazy_avoided));
+    std::printf("%s", xpr::MachineStats::capture(kernel).report().c_str());
+
+    if (tester != nullptr) {
+        std::printf("\ntester verdict: %s\n",
+                    tester->consistent() ? "consistent"
+                                         : "INCONSISTENT");
+        return tester->consistent() == opt.shootdown ? 0 : 1;
+    }
+    const auto violations = kernel.pmaps().auditTlbConsistency();
+    std::printf("\nTLB consistency audit: %s\n",
+                violations.empty() ? "clean" : "VIOLATIONS");
+    return violations.empty() ? 0 : 1;
+}
