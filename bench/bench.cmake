@@ -24,6 +24,7 @@ target_link_libraries(micro_primitives PRIVATE mach benchmark::benchmark)
 set_target_properties(micro_primitives PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 mach_bench(strategy_comparison)
+mach_bench(host_perf)
 mach_bench(pool_restructuring)
 mach_bench(ipi_crossover)
 mach_bench(policy_ablations)

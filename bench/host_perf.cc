@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Host-performance harness: wall-clock throughput of the simulator's
+ * hot core, tracked from PR to PR via BENCH_host_perf.json.
+ *
+ * Unlike the table/figure benches (which report *simulated* time),
+ * everything here is measured in host nanoseconds:
+ *
+ *   - event_queue:     schedule/cancel/fire churn through sim::EventQueue,
+ *                      in events per host second;
+ *   - tlb_churn:       insert/lookup/invalidate/flush churn through one
+ *                      hw::Tlb, in ns per lookup;
+ *   - shootdown_storm: the Section 5.1 consistency tester on 16 CPUs,
+ *                      in simulated us per host ms;
+ *   - app suite:       the four Section 5.2 applications (scaled by
+ *                      MACH_BENCH_SCALE), same unit.
+ *
+ * The JSON is written to BENCH_host_perf.json in the working directory
+ * so CI can archive the perf trajectory.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+#include "apps/consistency_tester.hh"
+#include "hw/phys_mem.hh"
+#include "hw/tlb.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace mach;
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point begin)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     begin)
+        .count();
+}
+
+struct Result
+{
+    std::string name;
+    double host_ms = 0;
+    std::string metric; ///< Name of the headline rate below.
+    double rate = 0;    ///< Higher is better.
+};
+
+/** Raw-event thunk mirroring Context::wakeTrampoline. */
+void
+bumpCounter(void *ctx, std::uint64_t)
+{
+    ++*static_cast<std::uint64_t *>(ctx);
+}
+
+/**
+ * Schedule one fiber-wake-shaped event exactly the way
+ * Context::scheduleWake does on this tree: through the raw thunk path
+ * when the queue provides one, through a closure otherwise (the seed
+ * queue), so the bench compares like against like across revisions.
+ */
+template <typename Queue>
+sim::EventId
+scheduleWakeLike(Queue &queue, Tick when, std::uint64_t *fired)
+{
+    if constexpr (requires {
+                      queue.scheduleRaw(when, &bumpCounter, fired,
+                                        std::uint64_t{0});
+                  }) {
+        return queue.scheduleRaw(when, &bumpCounter, fired, 0);
+    } else {
+        return queue.schedule(when, [fired] { ++*fired; });
+    }
+}
+
+/** Dispatch the front event the way Context::run does on this tree. */
+template <typename Queue>
+Tick
+fireFrontLike(Queue &queue)
+{
+    if constexpr (requires { queue.fireFront(); }) {
+        return queue.fireFront();
+    } else {
+        Tick when = 0;
+        queue.popFront(&when)();
+        return when;
+    }
+}
+
+/**
+ * Event-queue churn: a rotating window of pending events, a deep
+ * backlog, and a cancel-heavy phase -- the mix the kernel's sleep /
+ * wake / timer traffic produces (fiber wakes dominate, so events are
+ * scheduled the way Context::scheduleWake schedules them). Counts
+ * every schedule, cancel, and fire as one "event operation".
+ */
+Result
+benchEventQueue(unsigned scale)
+{
+    const std::uint64_t rounds = 400'000ull * scale;
+    constexpr unsigned kWindow = 512; // Pending events at steady state.
+    sim::EventQueue queue;
+    std::uint64_t fired = 0;
+    std::uint64_t ops = 0;
+    const auto begin = Clock::now();
+
+    // Phase 1: steady-state window of pending events.
+    Tick now = 0;
+    for (unsigned i = 0; i < kWindow; ++i)
+        scheduleWakeLike(queue, now + 1 + i % 7, &fired);
+    ops += kWindow;
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+        now = fireFrontLike(queue);
+        scheduleWakeLike(queue, now + 1 + i % 13, &fired);
+        ops += 2;
+    }
+    const double fire_ms = elapsedMs(begin);
+
+    // Phase 2: cancel-heavy traffic (sleeps that rarely expire).
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+        sim::EventId id = scheduleWakeLike(queue, now + 1000, &fired);
+        queue.cancel(id);
+        ops += 2;
+    }
+    const double cancel_ms = elapsedMs(begin) - fire_ms;
+
+    // Phase 3: drain the backlog.
+    while (!queue.empty()) {
+        fireFrontLike(queue);
+        ++ops;
+    }
+
+    Result r;
+    r.name = "event_queue";
+    r.host_ms = elapsedMs(begin);
+    r.metric = "events_per_sec";
+    r.rate = static_cast<double>(ops) / (r.host_ms / 1e3);
+    std::printf("  event_queue:      %9.1f ms  %12.0f events/sec "
+                "(%llu ops, %llu fired; fire %.1f ms, "
+                "cancel %.1f ms)\n",
+                r.host_ms, r.rate,
+                static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(fired), fire_ms,
+                cancel_ms);
+    return r;
+}
+
+/**
+ * TLB churn: the access pattern a shootdown-heavy workload produces --
+ * bursts of hits, misses that insert, page invalidations, space
+ * flushes, whole-buffer flushes, and cachesSpace polls.
+ */
+Result
+benchTlbChurn(unsigned scale)
+{
+    const std::uint64_t rounds = 200'000ull * scale;
+    hw::MachineConfig config;
+    // Directory scale: the virtual-cache mode runs the same structure
+    // at cache size rather than TLB size, which is where per-access
+    // host cost matters most.
+    config.tlb_entries = 1024;
+    hw::PhysMem mem(64);
+    hw::Tlb tlb(&config, &mem);
+    const unsigned spaces = 8;
+    std::uint64_t lookups = 0;
+    const auto begin = Clock::now();
+
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+        const hw::SpaceId space = 1 + i % spaces;
+        const Vpn base = static_cast<Vpn>((i * 5) % 1024);
+        // A miss, a fill, then a burst of hits (locality).
+        if (!tlb.lookup(space, base, ProtRead, 0).hit)
+            tlb.insert(space, base, static_cast<Pfn>(base + 1),
+                       ProtReadWrite, false);
+        for (unsigned j = 0; j < 6; ++j)
+            tlb.lookup(space, base, ProtRead, 0);
+        lookups += 7;
+        // Consistency traffic.
+        if (i % 16 == 0) {
+            tlb.invalidatePage(space, base);
+        } else if (i % 1024 == 5) {
+            tlb.flushSpace(space);
+        } else if (i % 8192 == 7) {
+            tlb.flushAll();
+        }
+        if (i % 4 == 0)
+            (void)tlb.cachesSpace(space);
+    }
+
+    Result r;
+    r.name = "tlb_churn";
+    r.host_ms = elapsedMs(begin);
+    r.metric = "tlb_lookup_ns";
+    // Headline: ns per lookup (charge the whole loop to lookups; the
+    // mix is fixed, so the number is comparable run to run).
+    r.rate = r.host_ms * 1e6 / static_cast<double>(lookups);
+    std::printf("  tlb_churn:        %9.1f ms  %12.1f ns/lookup "
+                "(%llu lookups, %llu hits, %llu misses)\n",
+                r.host_ms, r.rate,
+                static_cast<unsigned long long>(lookups),
+                static_cast<unsigned long long>(tlb.hits),
+                static_cast<unsigned long long>(tlb.misses));
+    return r;
+}
+
+/** The Section 5.1 tester as a 16-CPU shootdown storm. */
+Result
+benchShootdownStorm(unsigned scale)
+{
+    setLogQuiet(true);
+    const auto begin = Clock::now();
+    Tick sim_time = 0;
+    for (unsigned round = 0; round < scale; ++round) {
+        hw::MachineConfig config;
+        config.seed = 0x5702 + round;
+        vm::Kernel kernel(config);
+        apps::ConsistencyTester tester(
+            {.children = 12, .warmup = 20 * kMsec});
+        tester.execute(kernel);
+        if (!tester.consistent())
+            fatal("host_perf: shootdown storm detected inconsistency");
+        sim_time += kernel.machine().now();
+    }
+
+    Result r;
+    r.name = "shootdown_storm";
+    r.host_ms = elapsedMs(begin);
+    r.metric = "sim_us_per_host_ms";
+    r.rate = static_cast<double>(sim_time / kUsec) / r.host_ms;
+    std::printf("  shootdown_storm:  %9.1f ms  %12.1f sim-us/host-ms\n",
+                r.host_ms, r.rate);
+    return r;
+}
+
+/** The four Section 5.2 applications, sequentially, on fresh kernels. */
+Result
+benchAppSuite()
+{
+    setLogQuiet(true);
+    const auto begin = Clock::now();
+    Tick sim_time = 0;
+    for (unsigned index = 0; index < 4; ++index) {
+        const bench::AppRun run = bench::runApp(index, {});
+        sim_time += run.runtime;
+    }
+
+    Result r;
+    r.name = "app_suite";
+    r.host_ms = elapsedMs(begin);
+    r.metric = "sim_us_per_host_ms";
+    r.rate = static_cast<double>(sim_time / kUsec) / r.host_ms;
+    std::printf("  app_suite:        %9.1f ms  %12.1f sim-us/host-ms\n",
+                r.host_ms, r.rate);
+    return r;
+}
+
+void
+writeJson(const std::vector<Result> &results, unsigned scale)
+{
+    std::FILE *out = std::fopen("BENCH_host_perf.json", "w");
+    if (out == nullptr)
+        fatal("host_perf: cannot write BENCH_host_perf.json");
+    std::fprintf(out, "{\n  \"bench\": \"host_perf\",\n"
+                      "  \"scale\": %u,\n  \"results\": {\n",
+                 scale);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &r = results[i];
+        std::fprintf(out,
+                     "    \"%s\": {\"host_ms\": %.3f, \"%s\": %.3f}%s\n",
+                     r.name.c_str(), r.host_ms, r.metric.c_str(),
+                     r.rate, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned scale = mach::bench::benchScale();
+    std::printf("host_perf: wall-clock simulator-core benchmarks "
+                "(scale %u)\n", scale);
+
+    std::vector<Result> results;
+    results.push_back(benchEventQueue(scale));
+    results.push_back(benchTlbChurn(scale));
+    results.push_back(benchShootdownStorm(scale));
+    results.push_back(benchAppSuite());
+    writeJson(results, scale);
+    std::printf("wrote BENCH_host_perf.json\n");
+    return 0;
+}

@@ -71,6 +71,21 @@ class Bus
         return cost;
     }
 
+    /**
+     * Cost of @p count back-to-back accesses at current prices. Draws
+     * the same per-access jitter sequence as @p count accessCost()
+     * calls, so tick totals (and the RNG stream) are identical -- the
+     * overload only spares callers the per-draw call overhead.
+     */
+    Tick
+    accessCost(unsigned count)
+    {
+        Tick total = 0;
+        for (unsigned i = 0; i < count; ++i)
+            total += accessCost();
+        return total;
+    }
+
     /** RAII bus-user registration. */
     class User
     {

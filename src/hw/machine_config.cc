@@ -31,6 +31,12 @@ MachineConfig::validate() const
         fatal("MachineConfig: need at least 64 physical frames");
     if (tlb_entries == 0)
         fatal("MachineConfig: TLB must have at least one entry");
+    if (tlb_associativity > 0 &&
+        tlb_entries % tlb_associativity != 0) {
+        fatal("MachineConfig: tlb_associativity (%u) must evenly "
+              "divide tlb_entries (%u)",
+              tlb_associativity, tlb_entries);
+    }
     if (action_queue_size == 0)
         fatal("MachineConfig: action queue must hold at least one entry");
     if (multicast_ipi && broadcast_ipi)

@@ -89,6 +89,16 @@ struct MachineConfig
     unsigned tlb_entries = 64;
 
     /**
+     * Ways per set. 0 (the default) keeps the fully-associative global
+     * round-robin organization of the original Multimax model; any
+     * other value must evenly divide tlb_entries and selects a
+     * set-associative layout indexed by a hash of (space, vpn) with
+     * round-robin replacement within each set. This changes only which
+     * entries conflict, never the simulated lookup/flush costs.
+     */
+    unsigned tlb_associativity = 0;
+
+    /**
      * Invalidation policy threshold (Section 4, omitted detail 1):
      * beyond this many pages it is cheaper to flush the whole buffer
      * than to invalidate individual entries.

@@ -5,25 +5,203 @@
 namespace mach::hw
 {
 
+namespace
+{
+
+std::uint32_t
+nextPow2(std::uint32_t v)
+{
+    std::uint32_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
 Tlb::Tlb(const MachineConfig *config, PhysMem *mem)
     : config_(config), mem_(mem), entries_(config->tlb_entries)
 {
+    if (setAssociative()) {
+        MACH_ASSERT(config->tlb_entries % config->tlb_associativity ==
+                    0);
+        set_victims_.assign(
+            config->tlb_entries / config->tlb_associativity, 0);
+    } else {
+        // 4x the entry count keeps the open-addressed index under 25%
+        // occupancy right after a rebuild, so probe chains stay short.
+        const std::uint32_t capacity =
+            nextPow2(std::max(64u, 4 * config->tlb_entries));
+        index_.assign(capacity, kEmptySlot);
+        index_mask_ = capacity - 1;
+    }
+}
+
+std::uint64_t
+Tlb::hashKey(SpaceId space, Vpn vpn)
+{
+    std::uint64_t k =
+        (static_cast<std::uint64_t>(space) << 32) ^ vpn;
+    k *= 0x9E3779B97F4A7C15ull;
+    k ^= k >> 29;
+    return k;
+}
+
+bool
+Tlb::entryLive(const TlbEntry &entry) const
+{
+    return entry.valid && entry.gen == gen_ &&
+           entry.space_gen == space_states_[entry.space_slot].flush_gen;
+}
+
+unsigned
+Tlb::spaceLive(std::uint32_t slot) const
+{
+    const SpaceState &st = space_states_[slot];
+    return st.seen_gen == gen_ ? st.live : 0;
+}
+
+Tlb::SpaceState &
+Tlb::touchSpace(std::uint32_t slot)
+{
+    SpaceState &st = space_states_[slot];
+    if (st.seen_gen != gen_) {
+        // The whole buffer was flushed since this count was maintained;
+        // every entry it counted is dead. Normalize lazily.
+        st.seen_gen = gen_;
+        st.live = 0;
+    }
+    return st;
+}
+
+std::uint32_t
+Tlb::spaceSlot(SpaceId space)
+{
+    const auto [it, inserted] = space_index_.try_emplace(
+        space, static_cast<std::uint32_t>(space_states_.size()));
+    if (inserted)
+        space_states_.emplace_back();
+    return it->second;
 }
 
 TlbEntry *
 Tlb::find(SpaceId space, Vpn vpn)
 {
-    for (auto &entry : entries_) {
-        if (entry.valid && entry.space == space && entry.vpn == vpn)
+    if (live_count_ == 0)
+        return nullptr;
+    if (setAssociative()) {
+        const unsigned ways = config_->tlb_associativity;
+        const std::size_t set =
+            hashKey(space, vpn) % set_victims_.size();
+        TlbEntry *base = &entries_[set * ways];
+        for (unsigned way = 0; way < ways; ++way) {
+            TlbEntry &entry = base[way];
+            if (entryLive(entry) && entry.space == space &&
+                entry.vpn == vpn)
+                return &entry;
+        }
+        return nullptr;
+    }
+    std::uint32_t slot =
+        static_cast<std::uint32_t>(hashKey(space, vpn)) & index_mask_;
+    for (;; slot = (slot + 1) & index_mask_) {
+        const std::uint32_t ei = index_[slot];
+        if (ei == kEmptySlot)
+            return nullptr;
+        TlbEntry &entry = entries_[ei];
+        // Stale slots (retired, evicted, or epoch-flushed entries)
+        // stay in the chain as tombstones; probe past them.
+        if (entryLive(entry) && entry.space == space &&
+            entry.vpn == vpn)
             return &entry;
     }
-    return nullptr;
 }
 
 const TlbEntry *
 Tlb::find(SpaceId space, Vpn vpn) const
 {
     return const_cast<Tlb *>(this)->find(space, vpn);
+}
+
+void
+Tlb::indexInsert(std::uint32_t entry_index)
+{
+    const TlbEntry &entry = entries_[entry_index];
+    std::uint32_t slot =
+        static_cast<std::uint32_t>(hashKey(entry.space, entry.vpn)) &
+        index_mask_;
+    for (;; slot = (slot + 1) & index_mask_) {
+        const std::uint32_t ei = index_[slot];
+        if (ei == kEmptySlot) {
+            index_[slot] = entry_index;
+            // Claiming a virgin slot shrinks the empty margin that
+            // terminates probes; rebuild before chains degenerate.
+            if (++index_used_ * 4 > 3 * index_.size())
+                rebuildIndex();
+            return;
+        }
+        if (!entryLive(entries_[ei])) {
+            // Recycle a tombstone in this key's own probe chain; the
+            // chain stays contiguous for every key probing through it.
+            index_[slot] = entry_index;
+            return;
+        }
+        // A live entry's slot: the caller guarantees our key is not
+        // cached, so this is some other key. Keep probing.
+    }
+}
+
+void
+Tlb::rebuildIndex()
+{
+    index_.assign(index_.size(), kEmptySlot);
+    index_used_ = 0;
+    for (std::uint32_t ei = 0; ei < entries_.size(); ++ei) {
+        if (!entryLive(entries_[ei]))
+            continue;
+        std::uint32_t slot = static_cast<std::uint32_t>(hashKey(
+                                 entries_[ei].space,
+                                 entries_[ei].vpn)) &
+                             index_mask_;
+        while (index_[slot] != kEmptySlot)
+            slot = (slot + 1) & index_mask_;
+        index_[slot] = ei;
+        ++index_used_;
+    }
+}
+
+void
+Tlb::retireEntry(TlbEntry &entry)
+{
+    SpaceState &st = touchSpace(entry.space_slot);
+    MACH_ASSERT(st.live > 0);
+    MACH_ASSERT(live_count_ > 0);
+    --st.live;
+    --live_count_;
+    entry.valid = false;
+}
+
+void
+Tlb::fillEntry(TlbEntry &entry, SpaceId space, Vpn vpn, Pfn pfn,
+               Prot prot, bool mod)
+{
+    const std::uint32_t slot = spaceSlot(space);
+    SpaceState &st = touchSpace(slot);
+    entry.valid = true;
+    entry.space = space;
+    entry.vpn = vpn;
+    entry.pfn = pfn;
+    entry.prot = prot;
+    entry.ref = true;
+    entry.mod = mod;
+    entry.gen = gen_;
+    entry.space_gen = st.flush_gen;
+    entry.space_slot = slot;
+    ++st.live;
+    ++live_count_;
+    if (!setAssociative())
+        indexInsert(static_cast<std::uint32_t>(&entry -
+                                               entries_.data()));
 }
 
 TlbLookup
@@ -62,7 +240,7 @@ Tlb::lookup(SpaceId space, Vpn vpn, Prot want, PAddr pte_addr)
                 pte::pfn(current) != entry->pfn) {
                 // The mapping changed underneath the cached entry: the
                 // access must fault instead of completing.
-                entry->valid = false;
+                retireEntry(*entry);
                 result.hit = false;
                 result.prot_ok = false;
                 return result;
@@ -90,24 +268,37 @@ void
 Tlb::insert(SpaceId space, Vpn vpn, Pfn pfn, Prot prot, bool mod)
 {
     TlbEntry *entry = find(space, vpn);
-    if (!entry) {
+    if (entry) {
+        // Refresh in place; liveness bookkeeping is already counted.
+        entry->pfn = pfn;
+        entry->prot = prot;
+        entry->ref = true;
+        entry->mod = mod;
+        return;
+    }
+    if (setAssociative()) {
+        const unsigned ways = config_->tlb_associativity;
+        const std::size_t set =
+            hashKey(space, vpn) % set_victims_.size();
+        entry = &entries_[set * ways + set_victims_[set]];
+        set_victims_[set] = (set_victims_[set] + 1) % ways;
+    } else {
+        // Blind global round-robin, exactly as the original flat
+        // Multimax model: the victim cursor advances whether or not
+        // the victim slot held a live entry.
         entry = &entries_[next_victim_];
         next_victim_ = (next_victim_ + 1) % entries_.size();
     }
-    entry->valid = true;
-    entry->space = space;
-    entry->vpn = vpn;
-    entry->pfn = pfn;
-    entry->prot = prot;
-    entry->ref = true;
-    entry->mod = mod;
+    if (entryLive(*entry))
+        retireEntry(*entry);
+    fillEntry(*entry, space, vpn, pfn, prot, mod);
 }
 
 void
 Tlb::invalidatePage(SpaceId space, Vpn vpn)
 {
     if (TlbEntry *entry = find(space, vpn)) {
-        entry->valid = false;
+        retireEntry(*entry);
         ++single_invalidates;
     }
 }
@@ -115,42 +306,59 @@ Tlb::invalidatePage(SpaceId space, Vpn vpn)
 void
 Tlb::invalidateRange(SpaceId space, Vpn start, Vpn end)
 {
-    for (auto &entry : entries_) {
-        if (entry.valid && entry.space == space && entry.vpn >= start &&
-            entry.vpn < end) {
-            entry.valid = false;
-            ++single_invalidates;
+    if (live_count_ == 0)
+        return;
+    if (static_cast<std::uint64_t>(end) - start >= entries_.size()) {
+        // Range as wide as the buffer (virtual-cache directory sweeps,
+        // span invalidations): one pass over the array beats probing
+        // every vpn.
+        for (auto &entry : entries_) {
+            if (entryLive(entry) && entry.space == space &&
+                entry.vpn >= start && entry.vpn < end) {
+                retireEntry(entry);
+                ++single_invalidates;
+            }
         }
+        return;
     }
+    for (Vpn vpn = start; vpn < end; ++vpn)
+        invalidatePage(space, vpn);
 }
 
 void
 Tlb::flushSpace(SpaceId space)
 {
-    for (auto &entry : entries_) {
-        if (entry.valid && entry.space == space)
-            entry.valid = false;
-    }
     ++flushes;
+    const auto it = space_index_.find(space);
+    if (it == space_index_.end())
+        return;
+    SpaceState &st = touchSpace(it->second);
+    MACH_ASSERT(live_count_ >= st.live);
+    live_count_ -= st.live;
+    st.live = 0;
+    // Entries filled under the old space generation are now dead; no
+    // scan needed.
+    ++st.flush_gen;
 }
 
 void
 Tlb::flushAll()
 {
-    for (auto &entry : entries_)
-        entry.valid = false;
     ++flushes;
     ++full_flushes;
+    // One generation bump kills every entry; per-space counts are
+    // normalized lazily the next time each space is touched.
+    ++gen_;
+    live_count_ = 0;
 }
 
 bool
 Tlb::cachesSpace(SpaceId space) const
 {
-    for (const auto &entry : entries_) {
-        if (entry.valid && entry.space == space)
-            return true;
-    }
-    return false;
+    const auto it = space_index_.find(space);
+    if (it == space_index_.end())
+        return false;
+    return spaceLive(it->second) > 0;
 }
 
 bool
@@ -160,15 +368,18 @@ Tlb::cachesMapping(SpaceId space, Vpn vpn, Prot prot) const
     return entry && protAllows(entry->prot, prot);
 }
 
-unsigned
-Tlb::validCount() const
+const std::vector<TlbEntry> &
+Tlb::entries() const
 {
-    unsigned count = 0;
-    for (const auto &entry : entries_) {
-        if (entry.valid)
-            ++count;
+    // Reconcile the valid bits with the generation tags so white-box
+    // inspectors (audits, tests) see the same array an eager-flush
+    // implementation would have produced. Cold path only.
+    auto *self = const_cast<Tlb *>(this);
+    for (TlbEntry &entry : self->entries_) {
+        if (entry.valid && !entryLive(entry))
+            entry.valid = false;
     }
-    return count;
+    return entries_;
 }
 
 } // namespace mach::hw

@@ -21,12 +21,29 @@
  * Entries are tagged with the owning pmap's identity. Without ASID tags
  * the TLB is flushed on every address-space switch (as on the Multimax);
  * with them, entries from many spaces coexist.
+ *
+ * Host-performance organization (the simulated *costs* -- lookup cost,
+ * tlb_flush_cost, vc_search_cost_per_line -- are charged by callers and
+ * are completely unchanged by any of this):
+ *
+ *   - probes go through an open-addressed hash index keyed on
+ *     (space, vpn) instead of scanning the entry array, O(1) expected;
+ *   - flushAll is an O(1) generation bump: entries are live only while
+ *     their fill-time generation matches the buffer's, so no scan ever
+ *     clears valid bits on the hot path;
+ *   - flushSpace is an O(1) per-space generation bump with the same
+ *     trick, and per-space live counts make cachesSpace O(1);
+ *   - with tlb_associativity > 0 the buffer is set-associative
+ *     (index = hash of (space, vpn), per-set round-robin victims); the
+ *     default 0 keeps the fully-associative global round-robin behavior
+ *     of the original Multimax model, bit-for-bit.
  */
 
 #ifndef MACH_HW_TLB_HH
 #define MACH_HW_TLB_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "base/types.hh"
@@ -50,6 +67,13 @@ struct TlbEntry
     Prot prot = ProtNone;
     bool ref = false;
     bool mod = false;
+
+    // Host-side liveness tags (see file comment). An entry is live only
+    // when valid and both generations match the buffer's current ones;
+    // entries() reconciles the valid bits before exposing the array.
+    std::uint64_t gen = 0;        ///< Buffer generation at fill time.
+    std::uint64_t space_gen = 0;  ///< Space generation at fill time.
+    std::uint32_t space_slot = 0; ///< Dense index of the space's state.
 };
 
 /** Outcome of a TLB probe. */
@@ -77,7 +101,9 @@ class Tlb
 
     /**
      * Install a translation after a reload (hardware or software). The
-     * replacement policy is round-robin over the entry array.
+     * replacement policy is round-robin: over the whole entry array
+     * when fully associative (the default), within the indexed set
+     * when tlb_associativity > 0.
      */
     void insert(SpaceId space, Vpn vpn, Pfn pfn, Prot prot, bool mod);
 
@@ -87,13 +113,13 @@ class Tlb
     /** Invalidate entries for [start, end) in @p space. */
     void invalidateRange(SpaceId space, Vpn start, Vpn end);
 
-    /** Invalidate every entry belonging to @p space. */
+    /** Invalidate every entry belonging to @p space. O(1). */
     void flushSpace(SpaceId space);
 
-    /** Invalidate the whole buffer. */
+    /** Invalidate the whole buffer. O(1). */
     void flushAll();
 
-    /** True when any valid entry belongs to @p space. */
+    /** True when any valid entry belongs to @p space. O(1). */
     bool cachesSpace(SpaceId space) const;
 
     /**
@@ -102,11 +128,15 @@ class Tlb
      */
     bool cachesMapping(SpaceId space, Vpn vpn, Prot prot) const;
 
-    /** Count of valid entries (diagnostics). */
-    unsigned validCount() const;
+    /** Count of valid entries (diagnostics). O(1). */
+    unsigned validCount() const { return live_count_; }
 
-    /** Raw entry array (white-box inspection by audits and tests). */
-    const std::vector<TlbEntry> &entries() const { return entries_; }
+    /**
+     * Raw entry array (white-box inspection by audits and tests). The
+     * valid bits are reconciled against the generation tags first, so
+     * the returned view reads exactly as if flushes cleared eagerly.
+     */
+    const std::vector<TlbEntry> &entries() const;
 
     // Event counters for benchmarks and tests.
     std::uint64_t hits = 0;
@@ -121,13 +151,63 @@ class Tlb
     std::uint64_t full_flushes = 0;
 
   private:
+    /** Bookkeeping for one address space seen by this TLB. */
+    struct SpaceState
+    {
+        std::uint64_t flush_gen = 0; ///< Bumped by flushSpace.
+        std::uint64_t seen_gen = 0;  ///< Buffer gen `live` is valid for.
+        unsigned live = 0;           ///< Live entries, under seen_gen.
+    };
+
+    static constexpr std::uint32_t kEmptySlot = ~std::uint32_t{0};
+
+    bool setAssociative() const { return config_->tlb_associativity > 0; }
+    static std::uint64_t hashKey(SpaceId space, Vpn vpn);
+    bool entryLive(const TlbEntry &entry) const;
+    /** Live count for a space, 0 when its state is stale. */
+    unsigned spaceLive(std::uint32_t slot) const;
+    /** Normalize a space's count to the current generation, then ref. */
+    SpaceState &touchSpace(std::uint32_t slot);
+    std::uint32_t spaceSlot(SpaceId space);
+    /** Take an entry out of the live set (index slot stays, stale). */
+    void retireEntry(TlbEntry &entry);
+    /** Fill @p entry and enter it into the live set and the index. */
+    void fillEntry(TlbEntry &entry, SpaceId space, Vpn vpn, Pfn pfn,
+                   Prot prot, bool mod);
+
     TlbEntry *find(SpaceId space, Vpn vpn);
     const TlbEntry *find(SpaceId space, Vpn vpn) const;
+
+    // Fully-associative (hash index) machinery.
+    void indexInsert(std::uint32_t entry_index);
+    void rebuildIndex();
 
     const MachineConfig *config_;
     PhysMem *mem_;
     std::vector<TlbEntry> entries_;
     unsigned next_victim_ = 0;
+
+    /** Buffer generation; bumped by flushAll. */
+    std::uint64_t gen_ = 1;
+    /** Live entries across all spaces. */
+    unsigned live_count_ = 0;
+
+    /** Dense per-space states plus the id -> dense slot map. */
+    std::vector<SpaceState> space_states_;
+    std::unordered_map<SpaceId, std::uint32_t> space_index_;
+
+    /**
+     * Open-addressed index: slot -> entry index, validated against the
+     * entry's key and liveness on probe (so flushes need not touch it).
+     * Only used when fully associative; sets are scanned directly.
+     */
+    std::vector<std::uint32_t> index_;
+    std::uint32_t index_mask_ = 0;
+    /** Non-empty index slots (live or stale); triggers rebuilds. */
+    std::uint32_t index_used_ = 0;
+
+    /** Per-set round-robin victim cursors (set-associative mode). */
+    std::vector<std::uint32_t> set_victims_;
 };
 
 } // namespace mach::hw

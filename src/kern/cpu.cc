@@ -55,8 +55,7 @@ Cpu::pollInterrupts()
         if (machine_->cfg().intr_dispatch_jitter > 0)
             dispatch +=
                 machine_->rng().below(machine_->cfg().intr_dispatch_jitter);
-        for (int i = 0; i < 4; ++i)
-            dispatch += machine_->bus().accessCost();
+        dispatch += machine_->bus().accessCost(4);
         advanceNoPoll(dispatch);
 
         machine_->dispatchIrq(irq, *this);
@@ -140,10 +139,7 @@ Cpu::spinOnce()
 void
 Cpu::memAccess(unsigned count)
 {
-    Tick total = 0;
-    for (unsigned i = 0; i < count; ++i)
-        total += machine_->bus().accessCost();
-    advance(total);
+    advance(machine_->bus().accessCost(count));
 }
 
 void

@@ -264,17 +264,28 @@ ShootdownController::drainActions(kern::Cpu &cpu)
         cpu.advanceNoPoll(cfg.tlb_flush_cost);
         st.overflow = false;
     } else {
-        for (const ShootAction &action : st.queue) {
+        // By index, not iterators: invalidateLocal advances sim time,
+        // so a pmap teardown can run mid-loop. purgePmap sees our held
+        // action_lock and nulls entries in place instead of erasing,
+        // which keeps the index valid; skip the nulled ones.
+        for (std::size_t i = 0; i < st.queue.size(); ++i) {
+            const ShootAction &action = st.queue[i];
+            if (action.pmap == nullptr)
+                continue;
             invalidateLocal(cpu, action.pmap->space(), action.start,
                             action.end);
-            if (cfg.tlb_asid_tags && !action.pmap->isKernel() &&
-                action.pmap != cpu.cur_pmap) {
+            // invalidateLocal advanced time; the pmap may have been
+            // torn down (and this entry nulled) meanwhile. Re-read
+            // before dereferencing it again.
+            Pmap *const pmap = st.queue[i].pmap;
+            if (pmap != nullptr && cfg.tlb_asid_tags &&
+                !pmap->isKernel() && pmap != cpu.cur_pmap) {
                 // Section 10 experiment: completely flush entries for
                 // an address space that required an invalidation but is
                 // not current here, then drop the in-use bit so future
                 // shootdowns skip this processor.
-                cpu.tlb().flushSpace(action.pmap->space());
-                action.pmap->clearInUse(cpu.id());
+                cpu.tlb().flushSpace(pmap->space());
+                pmap->clearInUse(cpu.id());
             }
         }
     }
@@ -420,16 +431,25 @@ void
 ShootdownController::purgePmap(Pmap *pmap)
 {
     for (auto &st : state_) {
-        bool purged = false;
         auto &queue = st->queue;
-        for (std::size_t i = 0; i < queue.size();) {
-            if (queue[i].pmap == pmap) {
-                queue.erase(queue.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-                purged = true;
-            } else {
-                ++i;
+        bool purged = false;
+        if (st->action_lock.locked()) {
+            // A responder fiber is suspended mid-drain holding the
+            // action lock, with an index into this queue live across a
+            // sim-time advance. Null the pmap pointers in place --
+            // no structural mutation, so the drainer's position stays
+            // valid and it skips the dead entries.
+            for (ShootAction &action : queue) {
+                if (action.pmap == pmap) {
+                    action.pmap = nullptr;
+                    purged = true;
+                }
             }
+        } else {
+            purged = std::erase_if(queue,
+                                   [pmap](const ShootAction &action) {
+                                       return action.pmap == pmap;
+                                   }) > 0;
         }
         if (purged)
             st->overflow = true; // Escalate to a conservative full flush.

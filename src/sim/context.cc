@@ -43,7 +43,16 @@ Context::scheduleWake(FiberId id, Tick when)
 {
     MACH_ASSERT(id != 0);
     MACH_ASSERT(when >= now_);
-    return queue_.schedule(when, [this, id] { resumeFiber(id); });
+    // Wakes are the hot event kind (every sleep, nap, and IPI): use
+    // the queue's raw path so no closure is constructed or dispatched.
+    return queue_.scheduleRaw(when, &Context::wakeTrampoline, this, id);
+}
+
+void
+Context::wakeTrampoline(void *ctx, std::uint64_t token)
+{
+    static_cast<Context *>(ctx)->resumeFiber(
+        static_cast<FiberId>(token));
 }
 
 EventId
@@ -92,13 +101,14 @@ Context::run(Tick until)
 
     std::uint64_t dispatched = 0;
     while (!queue_.empty() && !stop_requested_) {
-        if (queue_.nextTime() > until)
+        const Tick when = queue_.nextTime();
+        if (when > until)
             break;
-        Tick when = 0;
-        EventQueue::Callback cb = queue_.popFront(&when);
         MACH_ASSERT(when >= now_);
+        // Advance the clock before dispatch: the event body reads
+        // now() as its own fire time.
         now_ = when;
-        cb();
+        queue_.fireFront();
         ++dispatched;
     }
 

@@ -95,6 +95,8 @@ class Context
 
   private:
     void resumeFiber(FiberId id);
+    /** EventQueue raw-event thunk for fiber wakes (token = FiberId). */
+    static void wakeTrampoline(void *ctx, std::uint64_t token);
 
     EventQueue queue_;
     Tick now_ = 0;

@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "apps/camelot.hh"
 #include "apps/consistency_tester.hh"
+#include "hw/tlb.hh"
+#include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
 
 namespace mach
@@ -87,6 +90,125 @@ TEST(Determinism, DifferentSeedsDiffer)
         prints[i] = fingerprint(kernel.machine().xpr());
     }
     EXPECT_NE(prints[0], prints[1]);
+}
+
+// ---------------------------------------------------------------------
+// Determinism digests: a single FNV-1a hash over the xpr event stream,
+// every CPU's TLB counters, and the shootdown controller's counters.
+// The digest pins the simulator's *entire observable order contract*:
+// the (time, insertion-seq) total order of the event queue, the RNG
+// draw sequence, and the TLB bookkeeping. Any rewrite of the hot core
+// (event heap, indexed TLB, batched bus charging) must leave these
+// digests bit-identical -- the golden values below were captured from
+// the original std::map event queue and linear-scan TLB.
+// ---------------------------------------------------------------------
+
+/** FNV-1a, fixed offsets/primes: stable across platforms and stdlibs. */
+std::uint64_t
+fnv1a(std::uint64_t hash, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1aU64(std::uint64_t hash, std::uint64_t value)
+{
+    return fnv1a(hash, &value, sizeof(value));
+}
+
+/** Hash everything the order contract can influence. */
+std::uint64_t
+runDigest(vm::Kernel &kernel)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    const std::string print = fingerprint(kernel.machine().xpr());
+    hash = fnv1a(hash, print.data(), print.size());
+    hash = fnv1aU64(hash, kernel.machine().now());
+    for (CpuId id = 0; id < kernel.machine().ncpus(); ++id) {
+        const hw::Tlb &tlb = kernel.machine().cpu(id).tlb();
+        hash = fnv1aU64(hash, tlb.hits);
+        hash = fnv1aU64(hash, tlb.misses);
+        hash = fnv1aU64(hash, tlb.writebacks);
+        hash = fnv1aU64(hash, tlb.flushes);
+        hash = fnv1aU64(hash, tlb.single_invalidates);
+        hash = fnv1aU64(hash, tlb.full_flushes);
+        hash = fnv1aU64(hash, tlb.validCount());
+    }
+    const pmap::ShootdownController &shoot = kernel.pmaps().shoot();
+    hash = fnv1aU64(hash, shoot.initiated);
+    hash = fnv1aU64(hash, shoot.delayed_waits);
+    hash = fnv1aU64(hash, shoot.interrupts_sent);
+    hash = fnv1aU64(hash, shoot.responder_passes);
+    hash = fnv1aU64(hash, shoot.idle_drains);
+    hash = fnv1aU64(hash, shoot.queue_overflows);
+    hash = fnv1aU64(hash, shoot.remote_invalidates);
+    return hash;
+}
+
+/** Tester (6 children) followed by a denser 12-child shootdown storm. */
+std::uint64_t
+stormDigest(std::uint64_t seed, bool software_reload)
+{
+    setLogQuiet(true);
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    {
+        hw::MachineConfig config;
+        config.seed = seed;
+        config.tlb_software_reload = software_reload;
+        vm::Kernel kernel(config);
+        apps::ConsistencyTester tester(
+            {.children = 6, .warmup = 20 * kMsec});
+        tester.execute(kernel);
+        EXPECT_TRUE(tester.consistent());
+        hash = fnv1aU64(hash, runDigest(kernel));
+    }
+    {
+        hw::MachineConfig config;
+        config.seed = seed ^ 0x5702;
+        config.tlb_software_reload = software_reload;
+        vm::Kernel kernel(config);
+        apps::ConsistencyTester tester(
+            {.children = 12, .warmup = 30 * kMsec});
+        tester.execute(kernel);
+        EXPECT_TRUE(tester.consistent());
+        hash = fnv1aU64(hash, runDigest(kernel));
+    }
+    return hash;
+}
+
+struct DigestCase
+{
+    std::uint64_t seed;
+    bool software_reload;
+    std::uint64_t golden;
+};
+
+TEST(DeterminismDigest, StormDigestsMatchGolden)
+{
+    // Golden digests captured from the seed implementation (std::map
+    // event queue, linear-scan TLB) -- see test comment above. Two
+    // seeds x two machine configs (baseline Multimax, software-reload).
+    const DigestCase cases[] = {
+        {0x1dea1, false, 0xbcf7d61b291003ddull},
+        {0x2bead, false, 0x8d49626805e29b8cull},
+        {0x1dea1, true, 0xf45a6047acf36e1full},
+        {0x2bead, true, 0x74e62422e4263b4cull},
+    };
+    for (const DigestCase &c : cases) {
+        const std::uint64_t first = stormDigest(c.seed,
+                                                c.software_reload);
+        const std::uint64_t second = stormDigest(c.seed,
+                                                 c.software_reload);
+        EXPECT_EQ(first, second)
+            << "seed " << c.seed << " swr " << c.software_reload;
+        EXPECT_EQ(first, c.golden)
+            << "seed " << c.seed << " swr " << c.software_reload;
+    }
 }
 
 } // namespace

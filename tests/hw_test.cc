@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "hw/bus.hh"
 #include "hw/intr.hh"
 #include "hw/machine_config.hh"
@@ -430,6 +432,137 @@ TEST_F(TlbFixture, CachesMappingQuery)
     EXPECT_FALSE(tlb.cachesMapping(1, 6, ProtRead));
 }
 
+TEST_F(TlbFixture, FullyAssociativeEvictionIsGlobalRoundRobin)
+{
+    // Fill the buffer with distinct pages, then insert one more: the
+    // global round-robin cursor has wrapped back to slot 0, so the very
+    // first fill is the victim -- independent of any set hashing.
+    for (Vpn v = 0; v < config.tlb_entries; ++v)
+        tlb.insert(1, v, v, ProtRead, false);
+    tlb.insert(1, 1000, 99, ProtRead, false);
+    EXPECT_FALSE(tlb.lookup(1, 0, ProtRead, 0).hit);
+    for (Vpn v = 1; v < config.tlb_entries; ++v)
+        EXPECT_TRUE(tlb.lookup(1, v, ProtRead, 0).hit) << "vpn " << v;
+    EXPECT_TRUE(tlb.lookup(1, 1000, ProtRead, 0).hit);
+}
+
+// ---------------------------------------------------------------------
+// Set-associative TLB (tlb_associativity > 0)
+// ---------------------------------------------------------------------
+
+/** Mirror of Tlb::hashKey, so tests can pick vpns by set index. */
+std::uint64_t
+tlbSetHash(SpaceId space, Vpn vpn)
+{
+    std::uint64_t k = (static_cast<std::uint64_t>(space) << 32) ^ vpn;
+    k *= 0x9E3779B97F4A7C15ull;
+    k ^= k >> 29;
+    return k;
+}
+
+class SetAssocTlb : public ::testing::Test
+{
+  protected:
+    SetAssocTlb() : mem(256)
+    {
+        config.tlb_entries = 8;
+        config.tlb_associativity = 2; // Four sets of two ways.
+        tlb = std::make_unique<Tlb>(&config, &mem);
+    }
+
+    std::size_t
+    nsets() const
+    {
+        return config.tlb_entries / config.tlb_associativity;
+    }
+
+    /** First @p count vpns (space 1) landing in vpn 0's set. */
+    std::vector<Vpn>
+    sameSetVpns(std::size_t count) const
+    {
+        const std::size_t target = tlbSetHash(1, 0) % nsets();
+        std::vector<Vpn> out;
+        for (Vpn v = 0; out.size() < count; ++v)
+            if (tlbSetHash(1, v) % nsets() == target)
+                out.push_back(v);
+        return out;
+    }
+
+    /** A vpn (space 1) landing in a different set from vpn 0. */
+    Vpn
+    otherSetVpn() const
+    {
+        const std::size_t target = tlbSetHash(1, 0) % nsets();
+        for (Vpn v = 1;; ++v)
+            if (tlbSetHash(1, v) % nsets() != target)
+                return v;
+    }
+
+    MachineConfig config;
+    PhysMem mem;
+    std::unique_ptr<Tlb> tlb;
+};
+
+TEST_F(SetAssocTlb, ConflictEvictsWithinSetOnly)
+{
+    const std::vector<Vpn> colliding = sameSetVpns(3);
+    const Vpn bystander = otherSetVpn();
+    tlb->insert(1, colliding[0], 10, ProtRead, false);
+    tlb->insert(1, colliding[1], 11, ProtRead, false);
+    tlb->insert(1, bystander, 12, ProtRead, false);
+    // A third mapping in a two-way set evicts that set's round-robin
+    // victim (the oldest fill); other sets are untouched, even though
+    // the buffer as a whole has plenty of free slots.
+    tlb->insert(1, colliding[2], 13, ProtRead, false);
+    EXPECT_FALSE(tlb->lookup(1, colliding[0], ProtRead, 0).hit);
+    EXPECT_TRUE(tlb->lookup(1, colliding[1], ProtRead, 0).hit);
+    EXPECT_TRUE(tlb->lookup(1, colliding[2], ProtRead, 0).hit);
+    EXPECT_TRUE(tlb->lookup(1, bystander, ProtRead, 0).hit);
+    EXPECT_EQ(tlb->validCount(), 3u);
+}
+
+TEST_F(SetAssocTlb, PerSetVictimCursorIsRoundRobin)
+{
+    const std::vector<Vpn> colliding = sameSetVpns(4);
+    tlb->insert(1, colliding[0], 10, ProtRead, false); // way 0
+    tlb->insert(1, colliding[1], 11, ProtRead, false); // way 1
+    tlb->insert(1, colliding[2], 12, ProtRead, false); // evicts [0]
+    tlb->insert(1, colliding[3], 13, ProtRead, false); // evicts [1]
+    EXPECT_FALSE(tlb->lookup(1, colliding[0], ProtRead, 0).hit);
+    EXPECT_FALSE(tlb->lookup(1, colliding[1], ProtRead, 0).hit);
+    EXPECT_TRUE(tlb->lookup(1, colliding[2], ProtRead, 0).hit);
+    EXPECT_TRUE(tlb->lookup(1, colliding[3], ProtRead, 0).hit);
+}
+
+TEST_F(SetAssocTlb, ReinsertDoesNotAdvanceVictimCursor)
+{
+    const std::vector<Vpn> colliding = sameSetVpns(3);
+    tlb->insert(1, colliding[0], 10, ProtRead, false); // way 0
+    tlb->insert(1, colliding[1], 11, ProtRead, false); // way 1
+    // Refreshing a cached mapping updates in place and must not move
+    // the cursor (matching the fully-associative model)...
+    tlb->insert(1, colliding[0], 20, ProtRead, false);
+    // ...so the next conflict still evicts way 0, not way 1.
+    tlb->insert(1, colliding[2], 12, ProtRead, false);
+    EXPECT_FALSE(tlb->lookup(1, colliding[0], ProtRead, 0).hit);
+    const TlbLookup survivor = tlb->lookup(1, colliding[1], ProtRead, 0);
+    EXPECT_TRUE(survivor.hit);
+    EXPECT_EQ(survivor.pfn, 11u);
+}
+
+TEST_F(SetAssocTlb, EpochFlushesWorkAcrossSets)
+{
+    for (unsigned i = 0; i < config.tlb_entries; ++i)
+        tlb->insert(1 + i % 2, i * 7, i, ProtRead, false);
+    tlb->flushSpace(1);
+    EXPECT_FALSE(tlb->cachesSpace(1));
+    EXPECT_TRUE(tlb->cachesSpace(2));
+    tlb->flushAll();
+    EXPECT_EQ(tlb->validCount(), 0u);
+    for (const TlbEntry &entry : tlb->entries())
+        EXPECT_FALSE(entry.valid);
+}
+
 // ---------------------------------------------------------------------
 // Bus
 // ---------------------------------------------------------------------
@@ -583,6 +716,12 @@ TEST(MachineConfigTest, ValidateRejectsNonsense)
     remote.tlb_remote_invalidate = true;
     EXPECT_EXIT(remote.validate(), ::testing::ExitedWithCode(1),
                 "no_refmod_writeback");
+
+    MachineConfig assoc;
+    assoc.tlb_entries = 64;
+    assoc.tlb_associativity = 3;
+    EXPECT_EXIT(assoc.validate(), ::testing::ExitedWithCode(1),
+                "tlb_associativity");
 }
 
 TEST(HwDeathTest, FreeingReservedFrameAsserts)

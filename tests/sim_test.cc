@@ -303,5 +303,112 @@ TEST(Context, DeterministicReplay)
     EXPECT_EQ(run_once(), run_once());
 }
 
+// ---------------------------------------------------------------------
+// Event-heap internals: tombstones, same-tick chains, slab recycling.
+// ---------------------------------------------------------------------
+
+TEST(EventQueue, CancelThenFireSkipsTombstone)
+{
+    // Cancel an event that is already at the front of its tick chain;
+    // the next pop must sweep past the tombstone to the live event
+    // behind it, on the same tick and on a later one.
+    EventQueue q;
+    std::vector<int> order;
+    EventId dead_same = q.schedule(10, [&] { order.push_back(-1); });
+    q.schedule(10, [&] { order.push_back(1); });
+    EventId dead_later = q.schedule(20, [&] { order.push_back(-2); });
+    q.schedule(30, [&] { order.push_back(2); });
+    q.cancel(dead_same);
+    q.cancel(dead_later);
+
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.nextTime(), 10u);
+    while (!q.empty()) {
+        Tick when = 0;
+        q.popFront(&when)();
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, InterleavedTicksKeepSequenceOrder)
+{
+    // Alternate scheduling between two ticks so each tick's FIFO chain
+    // is built up interleaved; pops must still follow global
+    // (when, seq) order.
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+        const Tick when = (i % 2 == 0) ? 100 : 200;
+        q.schedule(when, [&order, i] { order.push_back(i); });
+    }
+    while (!q.empty()) {
+        Tick when = 0;
+        q.popFront(&when)();
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 1, 3, 5, 7}));
+}
+
+TEST(EventQueue, FreeListBoundsSlabAcrossChurn)
+{
+    // A million schedule/cancel cycles (the kicked-idle-nap pattern)
+    // must recycle slab nodes rather than grow the slab: tombstone
+    // compaction reclaims cancelled nodes even though their tick never
+    // reaches the front.
+    EventQueue q;
+    bool fired = false;
+    q.schedule(1, [&] { fired = true; });
+    for (int i = 0; i < 1'000'000; ++i) {
+        EventId id = q.schedule(1'000'000 + i % 97, [] {});
+        q.cancel(id);
+    }
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.scheduledCount(), 1'000'001u);
+    // The slab high-water mark stays tiny compared to the churn count.
+    EXPECT_LT(q.slabSize(), 1000u);
+    // In-use slots are the one live event plus at most the tombstone
+    // compaction threshold's worth of not-yet-swept cancelled nodes;
+    // every other slot is back on the free list.
+    EXPECT_LE(q.slabSize() - q.freeNodeCount(), 65u);
+
+    Tick when = 0;
+    q.popFront(&when)();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(when, 1u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SlabSlotReuseDoesNotConfuseCancel)
+{
+    // A stale EventId whose slab slot has been recycled by a newer
+    // event must not cancel the newer event.
+    EventQueue q;
+    EventId old_id = q.schedule(10, [] {});
+    Tick when = 0;
+    q.popFront(&when); // Slot returns to the free list.
+
+    bool fired = false;
+    q.schedule(20, [&] { fired = true; }); // Reuses the slot.
+    q.cancel(old_id);                      // Stale handle: must no-op.
+    EXPECT_EQ(q.size(), 1u);
+    q.popFront(&when)();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ManySameTickEventsUseOneHeapSlot)
+{
+    // The bucket layout's point: simultaneous events share one heap
+    // item, so the heap tracks distinct ticks, not events.
+    EventQueue q;
+    for (int i = 0; i < 100; ++i)
+        q.schedule(7, [] {});
+    q.schedule(9, [] {});
+    EXPECT_EQ(q.size(), 101u);
+    EXPECT_EQ(q.pendingTickCount(), 2u);
+    while (!q.empty()) {
+        Tick when = 0;
+        q.popFront(&when)();
+    }
+}
+
 } // namespace
 } // namespace mach::sim

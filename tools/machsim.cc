@@ -57,6 +57,7 @@ struct Options
     bool remote_invalidate = false;
     bool asid_tags = false;
     bool delayed_flush = false;
+    unsigned tlb_assoc = 0;
     std::string trace_spec;
 };
 
@@ -82,6 +83,8 @@ usage()
         "  --software-reload / --no-writeback / --remote-invalidate\n"
         "                      Section 9 TLB options\n"
         "  --asid-tags         Section 10 tagged-TLB extension\n"
+        "  --tlb-assoc N       set-associative TLB with N ways (0 =\n"
+        "                      fully associative, the Multimax default)\n"
         "  --trace SPEC        e.g. shootdown,pmap,vm (to stderr)\n");
 }
 
@@ -137,6 +140,9 @@ parse(int argc, char **argv, Options *opt)
             opt->no_writeback = true;
         } else if (flag == "--asid-tags") {
             opt->asid_tags = true;
+        } else if (flag == "--tlb-assoc") {
+            opt->tlb_assoc =
+                static_cast<unsigned>(atoi(need_value(i)));
         } else if (flag == "--trace") {
             opt->trace_spec = need_value(i);
         } else {
@@ -162,6 +168,7 @@ toConfig(const Options &opt)
     config.tlb_no_refmod_writeback = opt.no_writeback;
     config.tlb_remote_invalidate = opt.remote_invalidate;
     config.tlb_asid_tags = opt.asid_tags;
+    config.tlb_associativity = opt.tlb_assoc;
     if (opt.delayed_flush) {
         config.consistency_strategy =
             hw::ConsistencyStrategy::DelayedFlush;
