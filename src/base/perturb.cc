@@ -1,0 +1,123 @@
+#include "base/perturb.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mach
+{
+
+void
+SchedulePerturber::delayEvent(std::uint64_t seq, Tick extra)
+{
+    if (extra > 0)
+        event_delays_[seq] += extra;
+}
+
+void
+SchedulePerturber::delayBusAccess(std::uint64_t access, Tick extra)
+{
+    if (extra > 0)
+        bus_delays_[access] += extra;
+}
+
+void
+SchedulePerturber::add(const PerturbItem &item)
+{
+    if (item.bus)
+        delayBusAccess(item.index, item.extra);
+    else
+        delayEvent(item.index, item.extra);
+}
+
+std::vector<PerturbItem>
+SchedulePerturber::items() const
+{
+    std::vector<PerturbItem> out;
+    out.reserve(size());
+    for (const auto &[seq, extra] : event_delays_)
+        out.push_back({false, seq, extra});
+    for (const auto &[access, extra] : bus_delays_)
+        out.push_back({true, access, extra});
+    std::sort(out.begin(), out.end(),
+              [](const PerturbItem &a, const PerturbItem &b) {
+                  if (a.bus != b.bus)
+                      return !a.bus;
+                  return a.index < b.index;
+              });
+    return out;
+}
+
+SchedulePerturber
+SchedulePerturber::fromItems(const std::vector<PerturbItem> &items)
+{
+    SchedulePerturber out;
+    for (const PerturbItem &item : items)
+        out.add(item);
+    return out;
+}
+
+std::string
+SchedulePerturber::format() const
+{
+    std::string out;
+    char buf[64];
+    for (const PerturbItem &item : items()) {
+        std::snprintf(buf, sizeof(buf), "%s%c%llu+%llu",
+                      out.empty() ? "" : ",", item.bus ? 'b' : 'e',
+                      static_cast<unsigned long long>(item.index),
+                      static_cast<unsigned long long>(item.extra));
+        out += buf;
+    }
+    return out;
+}
+
+bool
+SchedulePerturber::parse(const std::string &text, SchedulePerturber *out,
+                         std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+
+    SchedulePerturber parsed;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find(',', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string item = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (item.empty())
+            return fail("empty item in schedule string");
+
+        const char kind = item[0];
+        if (kind != 'e' && kind != 'b')
+            return fail("item '" + item + "': expected 'e' or 'b' prefix");
+        const std::size_t plus = item.find('+');
+        if (plus == std::string::npos || plus < 2 ||
+            plus + 1 >= item.size()) {
+            return fail("item '" + item + "': expected <index>+<ticks>");
+        }
+
+        char *rest = nullptr;
+        const std::string index_str = item.substr(1, plus - 1);
+        const std::uint64_t index =
+            std::strtoull(index_str.c_str(), &rest, 10);
+        if (rest == nullptr || *rest != '\0')
+            return fail("item '" + item + "': bad index");
+        const std::string extra_str = item.substr(plus + 1);
+        const std::uint64_t extra =
+            std::strtoull(extra_str.c_str(), &rest, 10);
+        if (rest == nullptr || *rest != '\0' || extra == 0)
+            return fail("item '" + item + "': bad tick count");
+
+        parsed.add({kind == 'b', index, extra});
+    }
+    *out = std::move(parsed);
+    return true;
+}
+
+} // namespace mach

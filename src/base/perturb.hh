@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Schedule perturbations: the replayable input of the model checker.
+ *
+ * A SchedulePerturber is a finite list of delay directives applied to a
+ * deterministic run:
+ *
+ *   - "event" directives stretch the firing time of the n-th event ever
+ *     scheduled on the sim::EventQueue (n is the queue's insertion
+ *     sequence number, which is itself deterministic), and
+ *   - "bus" directives stretch the cost of the n-th hw::Bus memory
+ *     access.
+ *
+ * Delays compose with the unperturbed schedule, so within one tick the
+ * (time, seq) order contract is untouched; a delayed event simply fires
+ * later, which is how the checker reorders same-window events, stretches
+ * interrupt latencies, and postpones responder wakeups. Because both
+ * counters are deterministic, a perturbation list is a complete,
+ * replayable name for an interleaving: the same list on the same
+ * configuration and seed reproduces the same run bit-for-bit
+ * (tests/determinism_test.cc pins this with golden digests).
+ *
+ * The text form -- what chk::Explorer prints for a minimized failure and
+ * what `machsim --schedule` accepts -- is a comma-separated list of
+ * `e<seq>+<ticks>` and `b<access>+<ticks>` items, e.g.
+ *
+ *   e1204+48000,b77+9000
+ *
+ * meaning "delay scheduled event #1204 by 48000 ticks (48 us) and charge
+ * bus access #77 an extra 9 us". format() emits items in sorted order so
+ * the string is canonical.
+ */
+
+#ifndef MACH_BASE_PERTURB_HH
+#define MACH_BASE_PERTURB_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mach
+{
+
+/** One delay directive of a perturbation schedule. */
+struct PerturbItem
+{
+    /** False: delay a scheduled event. True: stretch a bus access. */
+    bool bus = false;
+    /** Event insertion sequence, or 1-based bus access number. */
+    std::uint64_t index = 0;
+    /** Extra ticks to add. */
+    Tick extra = 0;
+
+    bool
+    operator==(const PerturbItem &other) const
+    {
+        return bus == other.bus && index == other.index &&
+               extra == other.extra;
+    }
+};
+
+/** A set of delay directives, consulted by EventQueue and Bus. */
+class SchedulePerturber
+{
+  public:
+    SchedulePerturber() = default;
+
+    /** Delay the event whose insertion sequence is @p seq. Additive. */
+    void delayEvent(std::uint64_t seq, Tick extra);
+
+    /** Stretch the @p access-th (1-based) bus access. Additive. */
+    void delayBusAccess(std::uint64_t access, Tick extra);
+
+    void add(const PerturbItem &item);
+
+    /** Extra delay for event @p seq (0 when unperturbed). */
+    Tick
+    eventDelay(std::uint64_t seq) const
+    {
+        const auto it = event_delays_.find(seq);
+        return it == event_delays_.end() ? 0 : it->second;
+    }
+
+    /** Extra cost for bus access @p access (0 when unperturbed). */
+    Tick
+    busDelay(std::uint64_t access) const
+    {
+        const auto it = bus_delays_.find(access);
+        return it == bus_delays_.end() ? 0 : it->second;
+    }
+
+    bool empty() const { return event_delays_.empty() && bus_delays_.empty(); }
+    std::size_t size() const { return event_delays_.size() + bus_delays_.size(); }
+
+    /** All directives, sorted (events before bus, then by index). */
+    std::vector<PerturbItem> items() const;
+
+    /** Rebuild a perturber from a directive list. */
+    static SchedulePerturber fromItems(const std::vector<PerturbItem> &items);
+
+    /** Canonical text form (see file comment). Empty set -> "". */
+    std::string format() const;
+
+    /**
+     * Parse the text form. Returns false (and fills @p error when
+     * non-null) on malformed input; @p out is untouched on failure.
+     * The empty string parses to the empty perturbation.
+     */
+    static bool parse(const std::string &text, SchedulePerturber *out,
+                      std::string *error = nullptr);
+
+  private:
+    std::unordered_map<std::uint64_t, Tick> event_delays_;
+    std::unordered_map<std::uint64_t, Tick> bus_delays_;
+};
+
+} // namespace mach
+
+#endif // MACH_BASE_PERTURB_HH

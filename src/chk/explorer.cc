@@ -1,0 +1,229 @@
+#include "chk/explorer.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/rng.hh"
+#include "chk/oracle.hh"
+#include "pmap/shootdown.hh"
+#include "vm/kernel.hh"
+
+namespace mach::chk
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t
+fold(std::uint64_t h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Delta ladder for the systematic sweep: one TLB-invalidate-scale
+ *  nudge up to a schedule-quantum-scale shove. */
+constexpr Tick kDeltaLadder[] = {30 * kUsec, 120 * kUsec, 500 * kUsec,
+                                 1500 * kUsec};
+constexpr unsigned kDeltaLadderSize = 4;
+
+} // namespace
+
+TrialResult
+Explorer::runTrial(const Scenario &scenario,
+                   const SchedulePerturber &perturber) const
+{
+    TrialResult out;
+
+    // Liveness bound: the unperturbed bound plus every injected
+    // delay. A delay-only perturbation can stretch a run by at most
+    // the sum of its extras, so exceeding this bound means some
+    // shootdown (or join on one) genuinely failed to terminate.
+    Tick bound = scenario.bound;
+    for (const PerturbItem &item : perturber.items())
+        bound += item.extra;
+
+    vm::Kernel kernel(scenario.config);
+    kernel.machine().setPerturber(&perturber);
+    Oracle oracle(kernel);
+    ScenarioState state;
+    scenario.launch(kernel, &state);
+    out.events_fired = kernel.machine().run(bound);
+    oracle.finalCheck();
+    kernel.machine().setPerturber(nullptr);
+
+    out.completed = state.finished;
+    out.predicate_ok = state.predicate_ok;
+    out.coverage_ok = state.coverage_ok;
+    out.note = state.note;
+    out.violations = oracle.violations();
+    out.violation_count = oracle.violationCount();
+    out.bus_accesses = kernel.machine().bus().accessCount();
+    out.end_time = kernel.machine().now();
+
+    const pmap::ShootdownController &shoot = kernel.pmaps().shoot();
+    std::uint64_t h = kFnvOffset;
+    h = fold(h, out.end_time);
+    h = fold(h, out.events_fired);
+    h = fold(h, out.bus_accesses);
+    h = fold(h, shoot.initiated);
+    h = fold(h, shoot.interrupts_sent);
+    h = fold(h, shoot.responder_passes);
+    h = fold(h, shoot.idle_drains);
+    h = fold(h, shoot.queue_overflows);
+    h = fold(h, shoot.remote_invalidates);
+    h = fold(h, out.violation_count);
+    out.digest = h;
+    return out;
+}
+
+ExploreResult
+Explorer::explore(const Scenario &scenario, const ExploreOptions &opt)
+{
+    ExploreResult res;
+
+    res.baseline = runTrial(scenario, SchedulePerturber{});
+    ++res.trials;
+    if (res.baseline.failed() ||
+        (opt.check_coverage && !res.baseline.coverage_ok)) {
+        res.baseline_failed = true;
+        say("baseline failed: " + scenario.name + " " +
+            res.baseline.note);
+        return res;
+    }
+
+    const std::uint64_t n_events =
+        std::max<std::uint64_t>(1, res.baseline.events_fired);
+    const std::uint64_t n_bus =
+        std::max<std::uint64_t>(1, res.baseline.bus_accesses);
+
+    auto consider = [&](const SchedulePerturber &p) {
+        const TrialResult r = runTrial(scenario, p);
+        ++res.trials;
+        if (!r.failed())
+            return false;
+        ++res.failures;
+        if (res.failures == 1) {
+            res.first_failing = p;
+            res.first_failure = r;
+            say("failing schedule for " + scenario.name + ": " +
+                p.format());
+        }
+        return true;
+    };
+
+    // Phase 1: bounded-systematic sweep. One delayed event per
+    // probe, seq striding across the whole baseline index space,
+    // cycling the delta ladder -- the swap-window enumeration.
+    bool found = false;
+    if (opt.systematic_budget != 0) {
+        const std::uint64_t stride = std::max<std::uint64_t>(
+            1, n_events / opt.systematic_budget);
+        unsigned used = 0;
+        for (std::uint64_t seq = 1;
+             seq <= n_events && used < opt.systematic_budget;
+             seq += stride, ++used) {
+            SchedulePerturber p;
+            p.delayEvent(seq, kDeltaLadder[used % kDeltaLadderSize]);
+            if (consider(p) && opt.stop_at_first) {
+                found = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: randomized multi-delay probes over events and bus
+    // accesses. Seeded independently of the machine, so the campaign
+    // is reproducible end to end.
+    if (!found) {
+        Rng rng(opt.seed);
+        for (unsigned t = 0; t < opt.random_budget; ++t) {
+            SchedulePerturber p;
+            const unsigned k = 1 + static_cast<unsigned>(
+                                       rng.below(opt.max_delays));
+            for (unsigned j = 0; j < k; ++j) {
+                const Tick extra =
+                    opt.min_extra +
+                    rng.below(opt.max_extra - opt.min_extra + 1);
+                if (rng.chance(0.15))
+                    p.delayBusAccess(1 + rng.below(n_bus), extra);
+                else
+                    p.delayEvent(1 + rng.below(n_events), extra);
+            }
+            if (consider(p) && opt.stop_at_first) {
+                found = true;
+                break;
+            }
+        }
+    }
+
+    if (res.failures != 0) {
+        res.minimized = minimize(scenario, res.first_failing,
+                                 opt.minimize_budget);
+        res.minimized_schedule = res.minimized.format();
+        res.minimized_result = runTrial(scenario, res.minimized);
+        char line[128];
+        std::snprintf(line, sizeof(line),
+                      "minimized to %u directive(s): ",
+                      static_cast<unsigned>(res.minimized.size()));
+        say(line + res.minimized_schedule);
+    }
+    return res;
+}
+
+SchedulePerturber
+Explorer::minimize(const Scenario &scenario,
+                   const SchedulePerturber &failing,
+                   unsigned budget) const
+{
+    std::vector<PerturbItem> items = failing.items();
+    unsigned used = 0;
+
+    auto fails = [&](const std::vector<PerturbItem> &cand) {
+        if (used >= budget)
+            return false; // out of budget: keep the known-failing set
+        ++used;
+        return runTrial(scenario,
+                        SchedulePerturber::fromItems(cand))
+            .failed();
+    };
+
+    // 1-minimal reduction: drop directives one at a time until no
+    // single drop still reproduces the failure.
+    bool changed = true;
+    while (changed && items.size() > 1) {
+        changed = false;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            std::vector<PerturbItem> cand = items;
+            cand.erase(cand.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+            if (fails(cand)) {
+                items = cand;
+                changed = true;
+                break;
+            }
+        }
+    }
+
+    // Delta shrinking: halve each surviving delay while the failure
+    // still reproduces, to report the smallest sufficient stretch.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        while (items[i].extra > 1) {
+            std::vector<PerturbItem> cand = items;
+            cand[i].extra /= 2;
+            if (!fails(cand))
+                break;
+            items = cand;
+        }
+    }
+
+    return SchedulePerturber::fromItems(items);
+}
+
+} // namespace mach::chk

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Schedule exploration for the shootdown model checker.
+ *
+ * The simulator is deterministic: a machine seed plus a perturbation
+ * list (base/perturb.hh) completely names one interleaving. The
+ * explorer exploits that to model-check the shootdown algorithm the
+ * way a stateless concurrency checker would:
+ *
+ *  1. run a scenario's unperturbed baseline and measure its event and
+ *     bus-access counts (the perturbation index space);
+ *  2. sweep that space with bounded-systematic single-delay probes
+ *     (every stride-th event stretched by one of a ladder of deltas,
+ *     realizing the same reorderings a swap-window DPOR pass would)
+ *     and with randomized multi-delay probes;
+ *  3. after every trial, judge three properties: bounded liveness
+ *     (the workload finished inside bound + injected delay), the
+ *     scenario's safety predicate (no write through a revoked
+ *     mapping), and the stale-translation oracle (chk/oracle.hh);
+ *  4. on failure, minimize the perturbation list to a 1-minimal,
+ *     delta-shrunk reproducer whose format() string replays byte-for-
+ *     byte under `machsim --schedule`.
+ *
+ * Every trial is a fresh vm::Kernel with the scenario's fixed config
+ * seed, so exploration itself is fully deterministic: the same
+ * ExploreOptions always visit the same schedules and report the same
+ * first failure.
+ */
+
+#ifndef MACH_CHK_EXPLORER_HH
+#define MACH_CHK_EXPLORER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/perturb.hh"
+#include "base/types.hh"
+#include "chk/scenario.hh"
+
+namespace mach::chk
+{
+
+/** Everything observed about one perturbed run of a scenario. */
+struct TrialResult
+{
+    /** Workload finished within bound + injected delay (liveness). */
+    bool completed = false;
+    /** Scenario safety predicate held. */
+    bool predicate_ok = true;
+    /** Scenario coverage fired (baseline runs only). */
+    bool coverage_ok = true;
+    /** Oracle violation reports (capped; count below is exact). */
+    std::vector<std::string> violations;
+    std::uint64_t violation_count = 0;
+    std::uint64_t events_fired = 0;
+    std::uint64_t bus_accesses = 0;
+    Tick end_time = 0;
+    /** Replay fingerprint over end state and protocol counters. */
+    std::uint64_t digest = 0;
+    /** First predicate/coverage failure note from the workload. */
+    std::string note;
+
+    /** A safety or liveness failure (coverage is judged separately). */
+    bool
+    failed() const
+    {
+        return !completed || !predicate_ok || violation_count != 0;
+    }
+};
+
+/** Knobs for one exploration campaign. */
+struct ExploreOptions
+{
+    /** Systematic single-delay probes (stride sweep x delta ladder). */
+    unsigned systematic_budget = 60;
+    /** Randomized multi-delay probes after the sweep. */
+    unsigned random_budget = 140;
+    /** Max delay directives per random probe. */
+    unsigned max_delays = 3;
+    Tick min_extra = 20 * kUsec;
+    Tick max_extra = 2 * kMsec;
+    /** Seed for the probe generator (not the machine). */
+    std::uint64_t seed = 0xC0FFEEull;
+    /** Trial budget for minimizing a found failure. */
+    unsigned minimize_budget = 120;
+    /** Stop the campaign at the first failing schedule. */
+    bool stop_at_first = true;
+    /** Fail the campaign when baseline coverage did not fire. */
+    bool check_coverage = true;
+};
+
+/** Outcome of an exploration campaign. */
+struct ExploreResult
+{
+    unsigned trials = 0;
+    unsigned failures = 0;
+    /** Baseline itself failed (or missed coverage): no exploration. */
+    bool baseline_failed = false;
+    TrialResult baseline;
+    /** First failing schedule, when failures != 0. */
+    SchedulePerturber first_failing;
+    TrialResult first_failure;
+    /** Minimized reproducer and its `--schedule` string. */
+    SchedulePerturber minimized;
+    std::string minimized_schedule;
+    TrialResult minimized_result;
+
+    bool
+    foundFailure() const
+    {
+        return baseline_failed || failures != 0;
+    }
+};
+
+/** Drives trials, campaigns, and failure minimization. */
+class Explorer
+{
+  public:
+    using Log = std::function<void(const std::string &)>;
+
+    explicit Explorer(Log log = nullptr) : log_(std::move(log)) {}
+
+    /**
+     * One run of @p scenario under @p perturber on a fresh kernel.
+     * Deterministic: equal (scenario, perturbation) pairs produce
+     * equal TrialResults, digest included.
+     */
+    TrialResult runTrial(const Scenario &scenario,
+                         const SchedulePerturber &perturber) const;
+
+    /** Full campaign: baseline, sweep, random probes, minimization. */
+    ExploreResult explore(const Scenario &scenario,
+                          const ExploreOptions &opt = {});
+
+    /**
+     * Shrink a failing perturbation to a 1-minimal list (no single
+     * directive can be dropped) with halving-minimized deltas. The
+     * input must fail; the result is always a known-failing schedule.
+     */
+    SchedulePerturber minimize(const Scenario &scenario,
+                               const SchedulePerturber &failing,
+                               unsigned budget) const;
+
+  private:
+    void say(const std::string &msg) const
+    {
+        if (log_)
+            log_(msg);
+    }
+
+    Log log_;
+};
+
+} // namespace mach::chk
+
+#endif // MACH_CHK_EXPLORER_HH

@@ -1,0 +1,540 @@
+#include "chk/scenario.hh"
+
+#include <cstdio>
+#include <vector>
+
+#include "kern/cpu.hh"
+#include "kern/thread.hh"
+#include "pmap/shootdown.hh"
+#include "vm/kernel.hh"
+#include "vm/task.hh"
+
+namespace mach::chk
+{
+
+namespace
+{
+
+void
+failPredicate(ScenarioState *state, std::string why)
+{
+    if (state->predicate_ok) {
+        state->predicate_ok = false;
+        state->note = std::move(why);
+    }
+}
+
+void
+failCoverage(ScenarioState *state, std::string why)
+{
+    if (state->coverage_ok) {
+        state->coverage_ok = false;
+        if (state->note.empty())
+            state->note = std::move(why);
+    }
+}
+
+void
+finish(vm::Kernel &kernel, ScenarioState *state)
+{
+    state->finished = true;
+    kernel.machine().ctx().requestStop();
+}
+
+/**
+ * One writer child: hammers its page with counter increments while
+ * the page is writable and falls back to reads while it is not. A
+ * write that succeeds lands at the access-return instant, so any
+ * counter movement observed strictly after a protection revocation
+ * completed went through a stale translation.
+ */
+kern::Thread::Body
+writerChild(vm::Kernel *kp, VAddr va, const bool *stop, Tick gap,
+            Tick masked_section)
+{
+    return [kp, va, stop, gap, masked_section](kern::Thread &self) {
+        vm::Kernel &kernel = *kp;
+        std::uint32_t n = 0;
+        while (!*stop) {
+            kern::AccessResult r = self.access(va, ProtWrite);
+            if (r.ok)
+                kernel.machine().mem().write32(r.paddr, ++n);
+            else
+                self.access(va, ProtRead);
+            if (masked_section != 0)
+                kernel.kernelSection(self, masked_section);
+            self.cpu().advance(gap);
+        }
+    };
+}
+
+/**
+ * The revoke-and-watch step shared by every storm: reprotect
+ * [base + page*kPageSize) read-only, snapshot the writer counters,
+ * wait, snapshot again. Counters may not move while revoked.
+ */
+void
+watchRevoked(vm::Kernel &kernel, kern::Thread &self, vm::Task &task,
+             VAddr base, unsigned pages, Tick settle,
+             ScenarioState *state, const char *who, unsigned round)
+{
+    if (!kernel.vmProtect(self, task, base, pages * kPageSize,
+                          ProtRead)) {
+        failPredicate(state, "vmProtect(read-only) failed");
+        return;
+    }
+    std::vector<std::uint32_t> before(pages, 0);
+    std::vector<std::uint32_t> after(pages, 0);
+    for (unsigned i = 0; i < pages; ++i)
+        kernel.vmRead(self, task, base + i * kPageSize, &before[i], 4);
+    self.sleep(settle);
+    for (unsigned i = 0; i < pages; ++i)
+        kernel.vmRead(self, task, base + i * kPageSize, &after[i], 4);
+    for (unsigned i = 0; i < pages; ++i) {
+        if (after[i] != before[i]) {
+            char msg[96];
+            std::snprintf(msg, sizeof(msg),
+                          "%s round %u: page %u counter moved "
+                          "%u -> %u through a revoked mapping",
+                          who, round, i, before[i], after[i]);
+            failPredicate(state, msg);
+        }
+    }
+    if (!kernel.vmProtect(self, task, base, pages * kPageSize,
+                          ProtReadWrite))
+        failPredicate(state, "vmProtect(restore) failed");
+}
+
+/**
+ * The generic storm: @p children writer threads on CPUs 1..children,
+ * a driver on CPU 0 revoking and restoring write access for
+ * @p rounds rounds with the watch predicate armed. With
+ * @p masked_section nonzero the writers interleave interrupt-masked
+ * kernel sections between accesses.
+ */
+Scenario::Launch
+stormLaunch(unsigned children, unsigned rounds, Tick warmup,
+            Tick settle, Tick masked_section = 0)
+{
+    return [=](vm::Kernel &kernel, ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "chk-driver",
+            [kp, state, children, rounds, warmup, settle,
+             masked_section](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                vm::Task *task = kernel.createTask("chk-storm");
+                VAddr base = 0;
+                if (!kernel.vmAllocate(drv, *task, &base,
+                                       children * kPageSize, true)) {
+                    failPredicate(state, "vmAllocate failed");
+                    finish(kernel, state);
+                    return;
+                }
+                bool stop = false;
+                const unsigned ncpus = kernel.machine().ncpus();
+                std::vector<kern::Thread *> kids;
+                for (unsigned i = 0; i < children; ++i) {
+                    kids.push_back(kernel.spawnThread(
+                        task, "chk-kid",
+                        writerChild(kp, base + i * kPageSize, &stop,
+                                    250 * kUsec, masked_section),
+                        1 + static_cast<std::int64_t>(
+                                i % (ncpus - 1))));
+                }
+                drv.sleep(warmup);
+                for (unsigned round = 0; round < rounds; ++round) {
+                    watchRevoked(kernel, drv, *task, base, children,
+                                 settle, state, "storm", round);
+                    drv.sleep(settle);
+                }
+                stop = true;
+                for (kern::Thread *t : kids)
+                    drv.join(*t);
+                if (kernel.machine().cfg().consistency_strategy ==
+                        hw::ConsistencyStrategy::Shootdown &&
+                    kernel.pmaps().shoot().initiated == 0)
+                    failCoverage(state, "storm: no shootdown ran");
+                finish(kernel, state);
+            },
+            0);
+    };
+}
+
+/**
+ * Two initiators reprotecting different pages of the same pmap
+ * concurrently, each with its own writer to watch. Exercises the
+ * initiator-waits-while-another-initiates interleavings and the
+ * respond-while-spinning path of Section 4.
+ */
+Scenario::Launch
+concurrentInitiatorsLaunch(unsigned initiators, unsigned rounds)
+{
+    return [=](vm::Kernel &kernel, ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "chk-driver",
+            [kp, state, initiators, rounds](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                vm::Task *task = kernel.createTask("chk-conc");
+                VAddr base = 0;
+                if (!kernel.vmAllocate(drv, *task, &base,
+                                       initiators * kPageSize, true)) {
+                    failPredicate(state, "vmAllocate failed");
+                    finish(kernel, state);
+                    return;
+                }
+                bool stop = false;
+                std::vector<kern::Thread *> all;
+                for (unsigned i = 0; i < initiators; ++i) {
+                    all.push_back(kernel.spawnThread(
+                        task, "chk-kid",
+                        writerChild(kp, base + i * kPageSize, &stop,
+                                    250 * kUsec, 0),
+                        1 + static_cast<std::int64_t>(i)));
+                }
+                drv.sleep(2 * kMsec);
+                for (unsigned i = 0; i < initiators; ++i) {
+                    const VAddr page = base + i * kPageSize;
+                    all.push_back(kernel.spawnThread(
+                        nullptr, "chk-init",
+                        [kp, state, task, page, rounds,
+                         i](kern::Thread &self) {
+                            vm::Kernel &kernel = *kp;
+                            for (unsigned r = 0; r < rounds; ++r) {
+                                watchRevoked(kernel, self, *task, page,
+                                             1, kMsec, state,
+                                             i == 0 ? "init0"
+                                                    : "init1",
+                                             r);
+                                self.sleep(kMsec);
+                            }
+                        },
+                        1 + static_cast<std::int64_t>(initiators + i)));
+                }
+                // Join initiators first, then release the writers.
+                for (std::size_t i = initiators; i < all.size(); ++i)
+                    drv.join(*all[i]);
+                stop = true;
+                for (unsigned i = 0; i < initiators; ++i)
+                    drv.join(*all[i]);
+                if (kernel.pmaps().shoot().initiated <
+                    rounds * initiators / 2)
+                    failCoverage(state,
+                                 "concurrent: too few shootdowns");
+                finish(kernel, state);
+            },
+            0);
+    };
+}
+
+/**
+ * Idle-drain race: kernel workers touch kmem pages on CPUs 1..k and
+ * exit, parking those CPUs in the idle loop with kernel translations
+ * still cached. The driver then frees the pages -- queueing actions
+ * at the idle CPUs without interrupts (the Section 4 idle
+ * optimization) -- and wakes the CPUs so the idle-exit path must
+ * drain before any kernel translation is used.
+ */
+Scenario::Launch
+idleDrainLaunch(unsigned k)
+{
+    return [=](vm::Kernel &kernel, ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "chk-driver",
+            [kp, state, k](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                std::vector<VAddr> vas(k, 0);
+                std::vector<kern::Thread *> workers;
+                for (unsigned i = 0; i < k; ++i) {
+                    workers.push_back(kernel.spawnThread(
+                        nullptr, "chk-kw",
+                        [kp, &vas, i](kern::Thread &self) {
+                            vm::Kernel &kernel = *kp;
+                            vas[i] =
+                                kernel.kmemAlloc(self, kPageSize);
+                            if (vas[i] == 0)
+                                return;
+                            for (unsigned j = 0; j < 8; ++j) {
+                                self.store32(vas[i], j);
+                                self.cpu().advance(100 * kUsec);
+                            }
+                        },
+                        1 + static_cast<std::int64_t>(i)));
+                }
+                for (kern::Thread *w : workers)
+                    drv.join(*w);
+                drv.sleep(2 * kMsec); // let the worker CPUs park idle
+                const std::uint64_t drains_before =
+                    kernel.pmaps().shoot().idle_drains;
+                for (unsigned i = 0; i < k; ++i) {
+                    if (vas[i] != 0)
+                        kernel.kmemFree(drv, vas[i], kPageSize);
+                }
+                // Wake each parked CPU with fresh kernel work that
+                // itself touches kmem right after the idle exit.
+                std::vector<kern::Thread *> wakers;
+                for (unsigned i = 0; i < k; ++i) {
+                    wakers.push_back(kernel.spawnThread(
+                        nullptr, "chk-wake",
+                        [kp](kern::Thread &self) {
+                            vm::Kernel &kernel = *kp;
+                            VAddr va =
+                                kernel.kmemAlloc(self, kPageSize);
+                            if (va == 0)
+                                return;
+                            self.store32(va, 1);
+                            kernel.kmemFree(self, va, kPageSize);
+                        },
+                        1 + static_cast<std::int64_t>(i)));
+                }
+                for (kern::Thread *w : wakers)
+                    drv.join(*w);
+                if (kernel.pmaps().shoot().idle_drains ==
+                    drains_before)
+                    failCoverage(state,
+                                 "idle-drain: no idle drain fired");
+                finish(kernel, state);
+            },
+            0);
+    };
+}
+
+/**
+ * Action-queue overflow: with a 2-entry queue, one worker caches
+ * several distinct kernel pages and parks idle; the driver then frees
+ * them one by one, overflowing the idle CPU's queue so the eventual
+ * idle-exit drain must fall back to a full TLB flush.
+ */
+Scenario::Launch
+overflowLaunch(unsigned pages)
+{
+    return [=](vm::Kernel &kernel, ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "chk-driver",
+            [kp, state, pages](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                std::vector<VAddr> vas(pages, 0);
+                kern::Thread *worker = kernel.spawnThread(
+                    nullptr, "chk-kw",
+                    [kp, &vas, pages](kern::Thread &self) {
+                        vm::Kernel &kernel = *kp;
+                        for (unsigned i = 0; i < pages; ++i) {
+                            vas[i] =
+                                kernel.kmemAlloc(self, kPageSize);
+                            if (vas[i] != 0)
+                                self.store32(vas[i], i);
+                        }
+                        self.cpu().advance(200 * kUsec);
+                    },
+                    1);
+                drv.join(*worker);
+                drv.sleep(2 * kMsec); // park CPU 1 in the idle loop
+                const std::uint64_t overflows_before =
+                    kernel.pmaps().shoot().queue_overflows;
+                for (unsigned i = 0; i < pages; ++i) {
+                    if (vas[i] != 0)
+                        kernel.kmemFree(drv, vas[i], kPageSize);
+                }
+                kern::Thread *waker = kernel.spawnThread(
+                    nullptr, "chk-wake",
+                    [kp](kern::Thread &self) {
+                        vm::Kernel &kernel = *kp;
+                        VAddr va = kernel.kmemAlloc(self, kPageSize);
+                        if (va != 0) {
+                            self.store32(va, 1);
+                            kernel.kmemFree(self, va, kPageSize);
+                        }
+                    },
+                    1);
+                drv.join(*waker);
+                if (kernel.pmaps().shoot().queue_overflows ==
+                    overflows_before)
+                    failCoverage(state,
+                                 "overflow: queue never overflowed");
+                finish(kernel, state);
+            },
+            0);
+    };
+}
+
+hw::MachineConfig
+smallConfig(unsigned ncpus = 6)
+{
+    hw::MachineConfig config;
+    config.ncpus = ncpus;
+    config.seed = 0x5eed5eedull;
+    return config;
+}
+
+Scenario
+storm(std::string name, std::string summary, hw::MachineConfig config,
+      Tick bound = 400 * kMsec)
+{
+    Scenario s;
+    s.name = std::move(name);
+    s.summary = std::move(summary);
+    s.config = config;
+    s.bound = bound;
+    s.launch = stormLaunch(3, 3, 4 * kMsec, 2 * kMsec);
+    return s;
+}
+
+} // namespace
+
+std::vector<Scenario>
+builtinScenarios()
+{
+    std::vector<Scenario> out;
+
+    out.push_back(storm("storm-baseline",
+                        "writer/reprotect storm, Multimax baseline",
+                        smallConfig()));
+
+    {
+        Scenario s;
+        s.name = "concurrent-initiators";
+        s.summary = "two initiators reprotecting one pmap";
+        s.config = smallConfig();
+        s.bound = 400 * kMsec;
+        s.launch = concurrentInitiatorsLaunch(2, 3);
+        out.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "idle-drain";
+        s.summary = "kernel shootdown vs idle CPUs draining on exit";
+        s.config = smallConfig();
+        s.bound = 400 * kMsec;
+        s.launch = idleDrainLaunch(3);
+        out.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "overflow-full-flush";
+        s.summary = "action-queue overflow forces the full flush";
+        s.config = smallConfig();
+        s.config.action_queue_size = 2;
+        s.bound = 400 * kMsec;
+        s.launch = overflowLaunch(5);
+        out.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "masked-responder";
+        s.summary = "responders inside interrupt-masked sections";
+        s.config = smallConfig();
+        s.bound = 600 * kMsec;
+        s.launch = stormLaunch(3, 3, 4 * kMsec, 3 * kMsec,
+                               1200 * kUsec);
+        out.push_back(s);
+    }
+
+    // ---- Section 9 hardware options, one storm each ----------------
+    {
+        hw::MachineConfig c = smallConfig();
+        c.high_priority_ipi = true;
+        out.push_back(storm("hw-hipri-ipi",
+                            "high-priority shootdown interrupt", c));
+    }
+    {
+        hw::MachineConfig c = smallConfig();
+        c.multicast_ipi = true;
+        out.push_back(storm("hw-multicast", "multicast IPI", c));
+    }
+    {
+        hw::MachineConfig c = smallConfig();
+        c.broadcast_ipi = true;
+        out.push_back(storm("hw-broadcast", "broadcast IPI", c));
+    }
+    {
+        hw::MachineConfig c = smallConfig();
+        c.tlb_software_reload = true;
+        out.push_back(
+            storm("hw-software-reload", "software TLB reload", c));
+    }
+    {
+        hw::MachineConfig c = smallConfig();
+        c.tlb_no_refmod_writeback = true;
+        out.push_back(storm("hw-no-writeback",
+                            "TLB without ref/mod writeback", c));
+    }
+    {
+        hw::MachineConfig c = smallConfig();
+        c.tlb_interlocked_refmod = true;
+        out.push_back(storm("hw-interlocked-refmod",
+                            "interlocked ref/mod updates", c));
+    }
+    {
+        hw::MachineConfig c = smallConfig();
+        c.tlb_remote_invalidate = true;
+        c.tlb_no_refmod_writeback = true;
+        out.push_back(storm("hw-remote-invalidate",
+                            "remote TLB entry invalidation", c));
+    }
+    {
+        hw::MachineConfig c = smallConfig();
+        c.tlb_asid_tags = true;
+        out.push_back(
+            storm("hw-asid-tags", "address-space tagged TLB", c));
+    }
+    {
+        hw::MachineConfig c = smallConfig();
+        c.virtual_cache = true;
+        c.tlb_no_refmod_writeback = true;
+        out.push_back(storm("hw-virtual-cache",
+                            "virtually addressed cache flushes", c));
+    }
+    {
+        hw::MachineConfig c = smallConfig(8);
+        c.kernel_pools = 2;
+        out.push_back(storm("pools",
+                            "Section 8 per-pool kernel restructuring",
+                            c));
+    }
+    {
+        hw::MachineConfig c = smallConfig();
+        c.consistency_strategy = hw::ConsistencyStrategy::DelayedFlush;
+        c.tlb_no_refmod_writeback = true;
+        out.push_back(storm("delayed-flush",
+                            "technique 2: timer-based delayed flush",
+                            c, 1200 * kMsec));
+    }
+
+    return out;
+}
+
+Scenario
+brokenStallScenario()
+{
+    Scenario s;
+    s.name = "broken-stall";
+    s.summary = "planted bug: responders skip the phase-2 stall";
+    s.config = smallConfig();
+    s.config.chk_skip_responder_stall = true;
+    s.bound = 400 * kMsec;
+    // One writer: with a single responder the no-stall window is a
+    // few microseconds wide and the unperturbed run happens to
+    // survive it, so detection genuinely requires exploration.
+    s.launch = stormLaunch(1, 3, 4 * kMsec, 2 * kMsec);
+    return s;
+}
+
+const Scenario *
+findScenario(const std::vector<Scenario> &library,
+             const std::string &name)
+{
+    for (const Scenario &s : library) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+} // namespace mach::chk

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Adversarial shootdown scenarios for the model checker.
+ *
+ * A Scenario packs a machine configuration, a liveness bound, and a
+ * launch function that spawns a workload chosen to stress one corner
+ * of the TLB consistency algorithm:
+ *
+ *  - concurrent initiators operating on the same pmap,
+ *  - an initiator racing responders that drain from the idle loop,
+ *  - action-queue overflow forcing the full-flush fallback,
+ *  - responders inside interrupt-masked kernel sections, and
+ *  - a generic writer/reprotect storm replayed under every Section 9
+ *    hardware option (high-priority IPI, multicast, broadcast,
+ *    software reload, no ref/mod writeback, interlocked ref/mod,
+ *    remote invalidate, ASID tags, virtual cache), the Section 8
+ *    pool restructuring, and the delayed-flush strategy.
+ *
+ * Workloads report through ScenarioState instead of asserting:
+ * `finished` is the bounded-liveness signal (every shootdown
+ * terminates and the workload runs to completion within the bound);
+ * `predicate_ok` carries the paper's end-to-end safety property (no
+ * write lands through a revoked mapping); `coverage_ok` confirms the
+ * scenario actually exercised its target path (e.g. the idle-drain
+ * counter moved). Coverage is only meaningful on the unperturbed
+ * baseline run -- a perturbation may legitimately steer execution
+ * around the target path -- so the explorer checks it there only.
+ */
+
+#ifndef MACH_CHK_SCENARIO_HH
+#define MACH_CHK_SCENARIO_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/machine_config.hh"
+
+namespace mach::vm
+{
+class Kernel;
+} // namespace mach::vm
+
+namespace mach::chk
+{
+
+/** Outcome flags a scenario workload reports into. */
+struct ScenarioState
+{
+    /** Workload ran to completion (bounded liveness). */
+    bool finished = false;
+    /** Safety predicate held (no write through a revoked mapping). */
+    bool predicate_ok = true;
+    /** Scenario-specific coverage fired (baseline run only). */
+    bool coverage_ok = true;
+    /** First predicate / coverage failure, for the report. */
+    std::string note;
+};
+
+/** One adversarial workload plus the machine it runs on. */
+struct Scenario
+{
+    /** Spawns the workload; must arrange state->finished + stop. */
+    using Launch = std::function<void(vm::Kernel &, ScenarioState *)>;
+
+    std::string name;
+    std::string summary;
+    hw::MachineConfig config;
+    /** Sim-time liveness bound for the unperturbed run. */
+    Tick bound = 0;
+    Launch launch;
+};
+
+/** The full built-in scenario library. */
+std::vector<Scenario> builtinScenarios();
+
+/**
+ * The deliberately broken protocol: the writer/reprotect storm on a
+ * machine with MachineConfig::chk_skip_responder_stall set, so
+ * responders rejoin the active set without stalling for the pmap
+ * lock. The explorer must find schedules where a responder's reload
+ * re-caches the pre-change PTE (the golden detection test).
+ */
+Scenario brokenStallScenario();
+
+/** Scenario by name from @p library, or null. */
+const Scenario *findScenario(const std::vector<Scenario> &library,
+                             const std::string &name);
+
+} // namespace mach::chk
+
+#endif // MACH_CHK_SCENARIO_HH

@@ -18,6 +18,7 @@
 #ifndef MACH_HW_BUS_HH
 #define MACH_HW_BUS_HH
 
+#include "base/perturb.hh"
 #include "base/rng.hh"
 #include "base/types.hh"
 #include "hw/machine_config.hh"
@@ -51,6 +52,20 @@ class Bus
 
     unsigned users() const { return users_; }
 
+    /** Total accesses ever priced (1-based id of the last access). */
+    std::uint64_t accessCount() const { return accesses_; }
+
+    /**
+     * Install (or clear) a perturbation schedule: the directed extra
+     * ticks are added to the cost of the matching access numbers. The
+     * access counter is deterministic, so bus perturbations replay
+     * exactly like event delays (see base/perturb.hh).
+     */
+    void setPerturber(const SchedulePerturber *perturber)
+    {
+        perturber_ = perturber;
+    }
+
     /**
      * Cost of one memory access right now: the uncontended base cost
      * plus congestion penalty and jitter when the bus is saturated.
@@ -68,6 +83,9 @@ class Bus
             if (config_->bus_contended_jitter > 0)
                 cost += rng_.below(config_->bus_contended_jitter);
         }
+        ++accesses_;
+        if (perturber_ != nullptr)
+            cost += perturber_->busDelay(accesses_);
         return cost;
     }
 
@@ -103,6 +121,8 @@ class Bus
     const MachineConfig *config_;
     Rng rng_;
     unsigned users_ = 0;
+    std::uint64_t accesses_ = 0;
+    const SchedulePerturber *perturber_ = nullptr;
 };
 
 } // namespace mach::hw

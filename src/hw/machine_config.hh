@@ -315,6 +315,16 @@ struct MachineConfig
     /** Per-CPU consistency-action queue depth (overflow => full flush). */
     unsigned action_queue_size = 8;
 
+    /**
+     * TEST ONLY -- plant a protocol bug: responders skip the phase-2
+     * stall on hardware that requires it, so a hardware reload (or a
+     * ref/mod writeback) can race the initiator's pmap change exactly
+     * as Section 3 warns. Exists so the model checker's golden test can
+     * prove the stale-translation oracle actually detects broken
+     * protocols (see docs/CHECKER.md); never set it outside tests.
+     */
+    bool chk_skip_responder_stall = false;
+
     /** Priority of the given interrupt source under this config. */
     Spl irqPriority(Irq irq) const;
 

@@ -125,6 +125,21 @@ class Machine
      */
     int poolOfKernelVpn(Vpn vpn) const;
 
+    /**
+     * Install (or clear) a perturbation schedule on both the event
+     * queue and the bus -- the model checker's and `machsim
+     * --schedule`'s single entry point. Must be called before the
+     * perturbed events are scheduled (in practice: right after
+     * construction, before any workload runs); the perturber must
+     * outlive the machine or be cleared first.
+     */
+    void
+    setPerturber(const SchedulePerturber *perturber)
+    {
+        ctx_.queue().setPerturber(perturber);
+        bus_->setPerturber(perturber);
+    }
+
     /** Begin periodic timer interrupts on all CPUs (if configured). */
     void startTimers();
     /** Stop scheduling further timer ticks (lets run() drain). */

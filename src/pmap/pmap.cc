@@ -198,6 +198,9 @@ Pmap::updateMappings(kern::Thread &thread, Vpn start, Vpn end,
         ++shootdowns_initiated;
         sys_->shoot().delayedFlushWait(thread, *this, snapshot, mapped);
     }
+
+    if (sys_->post_op_hook_)
+        sys_->post_op_hook_(*this);
 }
 
 void
@@ -378,6 +381,16 @@ PmapSystem::pmapForSpace(hw::SpaceId space) const
     return it == spaces_.end() ? nullptr : it->second;
 }
 
+bool
+PmapSystem::anyPmapLocked() const
+{
+    for (const auto &[space, pmap] : spaces_) {
+        if (pmap->locked())
+            return true;
+    }
+    return false;
+}
+
 std::vector<std::string>
 PmapSystem::auditTlbConsistency() const
 {
@@ -477,13 +490,21 @@ Cpu::access(VAddr va, Prot want)
                 while (pm->locked())
                     here.spinOnce();
             }
+            // The walk's PTE read, its ref/mod writeback, and the TLB
+            // fill happen at one simulated instant, *before* the walk
+            // latency is charged: the charge is preemptible, so an
+            // interrupt arriving mid-walk is serviced at its end --
+            // the next instruction boundary, as on real hardware --
+            // and a responder drain running there must see (and sweep)
+            // this fill. Filling after the charge let a pre-change PTE
+            // image enter the TLB *after* the drain had already run,
+            // a stale translation the schedule explorer can force by
+            // landing a shootdown IPI inside the walk window.
             const hw::WalkResult walk = pm->table().walk(vpn);
-            here.memAccess(walk.memory_reads);
-            here.advance(cfg.tlb_reload_cost_per_level *
-                         walk.memory_reads);
-
             const Prot pte_prot = hw::pte::prot(walk.pte);
-            if (hw::pte::valid(walk.pte) && protAllows(pte_prot, want)) {
+            const bool resolved =
+                hw::pte::valid(walk.pte) && protAllows(pte_prot, want);
+            if (resolved) {
                 const bool writing = protAllows(want, ProtWrite);
                 // Hardware maintains the referenced (and, for a write,
                 // modified) bit in the PTE as part of the reload.
@@ -498,8 +519,12 @@ Cpu::access(VAddr va, Prot want)
                 here.tlb_.insert(pm->space(), vpn,
                                  hw::pte::pfn(walk.pte), pte_prot,
                                  writing);
-                continue; // Retry; the next probe hits.
             }
+            here.memAccess(walk.memory_reads);
+            here.advance(cfg.tlb_reload_cost_per_level *
+                         walk.memory_reads);
+            if (resolved)
+                continue; // Retry; the next probe (normally) hits.
         }
 
         // Translation absent or insufficient: page fault.

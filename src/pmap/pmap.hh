@@ -23,6 +23,7 @@
 #define MACH_PMAP_PMAP_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -206,6 +207,23 @@ class PmapSystem
      */
     std::vector<std::string> auditTlbConsistency() const;
 
+    /**
+     * True while any pmap's exclusive lock is held, i.e. some pmap
+     * operation is in flight somewhere on the machine. The checker's
+     * oracle uses this to restrict audits to quiescent instants.
+     */
+    bool anyPmapLocked() const;
+
+    /**
+     * Install (or clear) a host-side hook invoked after every completed
+     * pmap mapping operation (enter/remove/protect/collect), on the
+     * initiator's fiber, once the pmap is unlocked and the initiator
+     * has rejoined the active set. Consumes no simulated time; the
+     * checker's stale-translation oracle lives here.
+     */
+    using PostOpHook = std::function<void(Pmap &)>;
+    void setPostOpHook(PostOpHook hook) { post_op_hook_ = std::move(hook); }
+
   private:
     friend class Pmap;
 
@@ -216,6 +234,7 @@ class PmapSystem
     std::unordered_map<Pfn, std::vector<PvEntry>> pv_;
     std::vector<PvEntry> empty_pv_;
     std::unordered_map<hw::SpaceId, Pmap *> spaces_;
+    PostOpHook post_op_hook_;
 };
 
 } // namespace mach::pmap

@@ -42,6 +42,8 @@ ShootdownController::responderMustStall() const
     // mid-update and because the TLB writes ref/mod bits back to the
     // PTE. Either Section 9 remedy removes the need for it.
     const hw::MachineConfig &cfg = machine_.cfg();
+    if (cfg.chk_skip_responder_stall)
+        return false; // Planted bug for the checker's golden test.
     return !(cfg.tlb_software_reload || cfg.tlb_no_refmod_writeback ||
              cfg.tlb_interlocked_refmod);
 }

@@ -182,6 +182,8 @@ EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
     MACH_ASSERT(cb != nullptr);
+    if (perturber_ != nullptr)
+        when += perturber_->eventDelay(next_seq_);
     const std::uint32_t slot = allocNode();
     slab_[slot].cb = std::move(cb);
     return enqueue(when, slot);
@@ -192,6 +194,8 @@ EventQueue::scheduleRaw(Tick when, RawFn fn, void *ctx,
                         std::uint64_t token)
 {
     MACH_ASSERT(fn != nullptr);
+    if (perturber_ != nullptr)
+        when += perturber_->eventDelay(next_seq_);
     const std::uint32_t slot = allocNode();
     Node &node = slab_[slot];
     node.raw_fn = fn;

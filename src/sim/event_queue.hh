@@ -41,6 +41,7 @@
 #include <functional>
 #include <vector>
 
+#include "base/perturb.hh"
 #include "base/types.hh"
 
 namespace mach::sim
@@ -114,6 +115,21 @@ class EventQueue
 
     /** Total events ever scheduled (monotonic; used by micro benches). */
     std::uint64_t scheduledCount() const { return next_seq_ - 1; }
+
+    /**
+     * Install (or clear, with nullptr) a perturbation schedule. Each
+     * schedule/scheduleRaw consults it by insertion sequence and adds
+     * the directed extra delay to the event's firing time. Delays are
+     * strictly additive, so `when >= now` is preserved and the (time,
+     * seq) order contract is untouched -- the perturbed run is just a
+     * different, equally deterministic schedule. The perturber must
+     * outlive the queue or be cleared first; a null perturber (the
+     * default) costs one predicted-taken branch per schedule.
+     */
+    void setPerturber(const SchedulePerturber *perturber)
+    {
+        perturber_ = perturber;
+    }
 
     /** Slab slots currently on the free-list (white-box tests). */
     std::size_t freeNodeCount() const;
@@ -216,6 +232,7 @@ class EventQueue
     std::uint32_t free_head_ = kNil;
     std::uint32_t bucket_free_head_ = kNil;
     std::uint64_t next_seq_ = 1;
+    const SchedulePerturber *perturber_ = nullptr;
     /** Scheduled, not yet fired or cancelled. */
     std::size_t live_ = 0;
     /** Cancelled nodes still linked into bucket chains. */

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The shootdown model checker's own test suite.
+ *
+ * Two halves:
+ *
+ *  - Every built-in adversarial scenario is explored for a budget of
+ *    schedules (MACH_EXPLORE_BUDGET, default 200) and must show zero
+ *    safety, liveness, or oracle failures: the Mach algorithm keeps
+ *    TLBs consistent under every perturbation we can throw at it.
+ *    When a scenario DOES fail, the minimized reproducer is written
+ *    to chk_failures/<scenario>.schedule so CI can upload it.
+ *
+ *  - The golden detection test: the same storm on a machine with the
+ *    planted protocol bug (responders skip the phase-2 stall) must be
+ *    caught -- the explorer finds a failing schedule, minimizes it,
+ *    and the minimized string replays the failure bit-exactly while
+ *    leaving the correct protocol unharmed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/perturb.hh"
+#include "chk/explorer.hh"
+#include "chk/scenario.hh"
+
+namespace
+{
+
+using namespace mach;
+
+unsigned
+exploreBudget()
+{
+    if (const char *env = std::getenv("MACH_EXPLORE_BUDGET")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 200;
+}
+
+chk::ExploreOptions
+optionsForBudget(unsigned budget)
+{
+    chk::ExploreOptions opt;
+    opt.systematic_budget = std::max(1u, budget * 3 / 10);
+    opt.random_budget = budget - opt.systematic_budget;
+    return opt;
+}
+
+/** Persist a failing schedule where CI picks artifacts up. */
+void
+writeFailureArtifact(const std::string &scenario,
+                     const chk::ExploreResult &res)
+{
+    std::error_code ec;
+    std::filesystem::create_directories("chk_failures", ec);
+    std::ofstream out("chk_failures/" + scenario + ".schedule");
+    out << "# scenario: " << scenario << "\n";
+    out << "# first failing schedule:\n" << res.first_failing.format()
+        << "\n";
+    out << "# minimized (replay with machsim --schedule):\n"
+        << res.minimized_schedule << "\n";
+    for (const std::string &v : res.first_failure.violations)
+        out << "# " << v << "\n";
+    if (!res.first_failure.note.empty())
+        out << "# note: " << res.first_failure.note << "\n";
+}
+
+std::vector<std::string>
+scenarioNames()
+{
+    std::vector<std::string> names;
+    for (const chk::Scenario &s : chk::builtinScenarios())
+        names.push_back(s.name);
+    return names;
+}
+
+class ScenarioExploration
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ScenarioExploration, NoFailureWithinBudget)
+{
+    const std::vector<chk::Scenario> library = chk::builtinScenarios();
+    const chk::Scenario *scenario =
+        chk::findScenario(library, GetParam());
+    ASSERT_NE(scenario, nullptr);
+
+    chk::Explorer explorer;
+    const unsigned budget = exploreBudget();
+    const chk::ExploreResult res =
+        explorer.explore(*scenario, optionsForBudget(budget));
+
+    if (res.foundFailure())
+        writeFailureArtifact(scenario->name, res);
+
+    ASSERT_FALSE(res.baseline_failed)
+        << "baseline run failed: " << res.baseline.note
+        << (res.baseline.violations.empty()
+                ? ""
+                : "; " + res.baseline.violations.front());
+    EXPECT_EQ(res.failures, 0u)
+        << "failing schedule: " << res.first_failing.format()
+        << "; minimized: " << res.minimized_schedule << "; "
+        << (res.first_failure.violations.empty()
+                ? res.first_failure.note
+                : res.first_failure.violations.front());
+    // The whole budget was actually spent (plus the baseline run).
+    EXPECT_GE(res.trials, budget + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chk, ScenarioExploration, ::testing::ValuesIn(scenarioNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name;
+    });
+
+/** Baseline runs alone must already satisfy scenario coverage. */
+TEST(ScenarioLibrary, BaselinesFinishWithCoverage)
+{
+    chk::Explorer explorer;
+    for (const chk::Scenario &s : chk::builtinScenarios()) {
+        const chk::TrialResult r =
+            explorer.runTrial(s, SchedulePerturber{});
+        EXPECT_TRUE(r.completed) << s.name << " did not finish";
+        EXPECT_TRUE(r.predicate_ok) << s.name << ": " << r.note;
+        EXPECT_TRUE(r.coverage_ok) << s.name << ": " << r.note;
+        EXPECT_EQ(r.violation_count, 0u)
+            << s.name << ": "
+            << (r.violations.empty() ? "" : r.violations.front());
+    }
+}
+
+/** Equal (scenario, schedule) pairs replay to equal digests. */
+TEST(Replay, TrialDigestIsDeterministic)
+{
+    const std::vector<chk::Scenario> library = chk::builtinScenarios();
+    const chk::Scenario *storm =
+        chk::findScenario(library, "storm-baseline");
+    ASSERT_NE(storm, nullptr);
+
+    SchedulePerturber p;
+    std::string error;
+    ASSERT_TRUE(
+        SchedulePerturber::parse("e120+50000,b40+9000", &p, &error))
+        << error;
+
+    chk::Explorer explorer;
+    const chk::TrialResult a = explorer.runTrial(*storm, p);
+    const chk::TrialResult b = explorer.runTrial(*storm, p);
+    EXPECT_TRUE(a.completed);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.end_time, b.end_time);
+    EXPECT_EQ(a.events_fired, b.events_fired);
+
+    // A substantially different schedule steers the run into a
+    // different interleaving with a different fingerprint.
+    SchedulePerturber q;
+    ASSERT_TRUE(SchedulePerturber::parse("e200+1500000,e800+700000",
+                                         &q, nullptr));
+    const chk::TrialResult c = explorer.runTrial(*storm, q);
+    EXPECT_NE(a.digest, c.digest);
+}
+
+/**
+ * The golden detection test. The planted bug (responders rejoin the
+ * active set without stalling on the pmap lock) is schedule-
+ * dependent: the unperturbed baseline happens to survive, but the
+ * explorer must find a schedule where a responder re-caches the
+ * pre-change PTE, minimize it, and hand back a replayable string.
+ */
+TEST(BrokenProtocol, ExplorerCatchesSkippedResponderStall)
+{
+    const chk::Scenario broken = chk::brokenStallScenario();
+    chk::Explorer explorer;
+    const chk::ExploreResult res = explorer.explore(broken);
+
+    ASSERT_FALSE(res.baseline_failed)
+        << "planted bug should be schedule-dependent, but the "
+           "baseline already failed: "
+        << res.baseline.note;
+    ASSERT_GT(res.failures, 0u)
+        << "explorer missed the planted protocol bug";
+
+    // The failure is a stale translation: either the oracle saw a
+    // TLB entry inconsistent with the page tables, or a write landed
+    // through the revoked mapping.
+    EXPECT_TRUE(res.first_failure.violation_count > 0 ||
+                !res.first_failure.predicate_ok)
+        << "unexpected failure mode (liveness?)";
+
+    // Minimization produced a no-larger, still-failing reproducer.
+    ASSERT_FALSE(res.minimized_schedule.empty());
+    EXPECT_GE(res.minimized.size(), 1u);
+    EXPECT_LE(res.minimized.size(), res.first_failing.size());
+    EXPECT_TRUE(res.minimized_result.failed());
+
+    // The string round-trips and replays the failure bit-exactly.
+    SchedulePerturber replay;
+    std::string error;
+    ASSERT_TRUE(SchedulePerturber::parse(res.minimized_schedule,
+                                         &replay, &error))
+        << error;
+    EXPECT_EQ(replay.format(), res.minimized_schedule);
+    const chk::TrialResult once = explorer.runTrial(broken, replay);
+    const chk::TrialResult twice = explorer.runTrial(broken, replay);
+    EXPECT_TRUE(once.failed());
+    EXPECT_EQ(once.digest, twice.digest);
+
+    // The correct protocol shrugs off the same adversarial schedule.
+    const std::vector<chk::Scenario> library = chk::builtinScenarios();
+    const chk::Scenario *fixed =
+        chk::findScenario(library, "storm-baseline");
+    ASSERT_NE(fixed, nullptr);
+    const chk::TrialResult healthy =
+        explorer.runTrial(*fixed, replay);
+    EXPECT_FALSE(healthy.failed())
+        << (healthy.violations.empty() ? healthy.note
+                                       : healthy.violations.front());
+}
+
+} // namespace

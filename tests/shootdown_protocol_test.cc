@@ -275,6 +275,73 @@ TEST(ShootProtocol, ResponderSamplingOnlyOnConfiguredCpus)
     }
 }
 
+TEST(ShootProtocol, ResponderWithEmptyTlbIsStillSynchronized)
+{
+    // The O(1) cachesSpace index makes it tempting to refine the
+    // initiator's target set (and its shoot() wait loop) with a "TLB
+    // does not cache the space" test, echoing the paper's "ceased
+    // using the pmap" refinement. That would be wrong on hardware-
+    // reload machines: a processor whose TLB holds no entry for the
+    // space can still walk the old page tables mid-change and
+    // re-cache a stale PTE, so only leaving the pmap's in-use set
+    // (or the active set) may exempt a processor -- an empty buffer
+    // may not. The wait condition (action_needed && active && inUse)
+    // deliberately has no cachesSpace term; this pins that choice:
+    // a responder with a freshly emptied TLB is still interrupted
+    // and the protection change stays consistent.
+    inKernel(config8(), [](vm::Kernel &kernel, kern::Thread &drv) {
+        vm::Task *task = kernel.createTask("empty-tlb");
+        VAddr va = 0;
+        bool stop = false;
+        std::uint32_t writes = 0;
+        kern::Thread *resp = kernel.spawnThread(
+            task, "resp",
+            [&](kern::Thread &self) {
+                ASSERT_TRUE(kernel.vmAllocate(self, *task, &va,
+                                              kPageSize, true));
+                while (!stop) {
+                    kern::AccessResult r =
+                        self.access(va, ProtWrite);
+                    if (r.ok)
+                        kernel.machine().mem().write32(r.paddr,
+                                                       ++writes);
+                    self.cpu().advance(2 * kMsec);
+                }
+            },
+            1);
+        drv.sleep(10 * kMsec);
+
+        kern::Cpu &rcpu = kernel.machine().cpu(1);
+        const hw::SpaceId space = task->pmap().space();
+        ASSERT_TRUE(task->pmap().inUse(1));
+        rcpu.tlb().flushAll(); // host-side; no simulated time passes
+        ASSERT_FALSE(rcpu.tlb().cachesSpace(space));
+        // The in-use bit outlives the buffer contents.
+        ASSERT_TRUE(task->pmap().inUse(1));
+
+        const std::uint64_t sent_before =
+            kernel.pmaps().shoot().interrupts_sent;
+        ASSERT_TRUE(
+            kernel.vmProtect(drv, *task, va, kPageSize, ProtRead));
+        EXPECT_GT(kernel.pmaps().shoot().interrupts_sent, sent_before)
+            << "initiator skipped a responder because its TLB "
+               "happened to be empty";
+
+        // And the change is actually consistent: nothing lands
+        // through the revoked mapping, no TLB disagrees with the
+        // page tables.
+        std::uint32_t before = 0, after = 0;
+        ASSERT_TRUE(kernel.vmRead(drv, *task, va, &before, 4));
+        drv.sleep(8 * kMsec);
+        ASSERT_TRUE(kernel.vmRead(drv, *task, va, &after, 4));
+        EXPECT_EQ(after, before);
+        EXPECT_TRUE(kernel.pmaps().auditTlbConsistency().empty());
+
+        stop = true;
+        drv.join(*resp);
+    });
+}
+
 TEST(ShootProtocol, StatsCountersAreCoherent)
 {
     setLogQuiet(true);

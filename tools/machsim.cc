@@ -27,7 +27,11 @@
 #include "apps/consistency_tester.hh"
 #include "apps/mach_build.hh"
 #include "apps/parthenon.hh"
+#include "base/perturb.hh"
 #include "base/trace.hh"
+#include "chk/explorer.hh"
+#include "chk/oracle.hh"
+#include "chk/scenario.hh"
 #include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
 #include "xpr/machine_stats.hh"
@@ -59,6 +63,12 @@ struct Options
     bool delayed_flush = false;
     unsigned tlb_assoc = 0;
     std::string trace_spec;
+    /** Perturbation directives, e.g. "e89+187500,b40+9000". */
+    std::string schedule;
+    /** Checker scenario for --app chk. */
+    std::string scenario = "storm-baseline";
+    /** Attach the stale-translation oracle to the run. */
+    bool oracle = false;
 };
 
 void
@@ -85,7 +95,16 @@ usage()
         "  --asid-tags         Section 10 tagged-TLB extension\n"
         "  --tlb-assoc N       set-associative TLB with N ways (0 =\n"
         "                      fully associative, the Multimax default)\n"
-        "  --trace SPEC        e.g. shootdown,pmap,vm (to stderr)\n");
+        "  --trace SPEC        e.g. shootdown,pmap,vm (to stderr)\n"
+        "  --schedule STR      replay a perturbation schedule (the\n"
+        "                      checker's e<seq>+<ticks>,b<n>+<ticks>\n"
+        "                      format; see docs/CHECKER.md)\n"
+        "  --oracle            audit TLB consistency after every pmap\n"
+        "                      operation (exit 1 on any violation)\n"
+        "  --app chk           run a checker scenario instead of a\n"
+        "                      workload (oracle always attached)\n"
+        "  --scenario NAME     which scenario --app chk runs; 'list'\n"
+        "                      prints the library\n");
 }
 
 bool
@@ -145,6 +164,12 @@ parse(int argc, char **argv, Options *opt)
                 static_cast<unsigned>(atoi(need_value(i)));
         } else if (flag == "--trace") {
             opt->trace_spec = need_value(i);
+        } else if (flag == "--schedule") {
+            opt->schedule = need_value(i);
+        } else if (flag == "--scenario") {
+            opt->scenario = need_value(i);
+        } else if (flag == "--oracle") {
+            opt->oracle = true;
         } else {
             fatal("unknown flag '%s' (try --help)", flag.c_str());
         }
@@ -177,6 +202,53 @@ toConfig(const Options &opt)
     return config;
 }
 
+/**
+ * --app chk: replay a perturbation schedule against a checker
+ * scenario (or its unperturbed baseline) with the oracle attached.
+ * This is how a minimized schedule printed by the explorer (or by
+ * CI's failure artifacts) is reproduced from the command line.
+ */
+int
+runCheckerScenario(const Options &opt,
+                   const SchedulePerturber &perturber)
+{
+    const std::vector<chk::Scenario> library = chk::builtinScenarios();
+    if (opt.scenario == "list") {
+        for (const chk::Scenario &s : library)
+            std::printf("%-22s %s\n", s.name.c_str(),
+                        s.summary.c_str());
+        std::printf("%-22s %s\n", "broken-stall",
+                    chk::brokenStallScenario().summary.c_str());
+        return 0;
+    }
+    const chk::Scenario broken = chk::brokenStallScenario();
+    const chk::Scenario *scenario =
+        opt.scenario == broken.name
+            ? &broken
+            : chk::findScenario(library, opt.scenario);
+    if (scenario == nullptr)
+        fatal("unknown --scenario '%s' (try --scenario list)",
+              opt.scenario.c_str());
+
+    std::printf("machsim: chk scenario %s, schedule \"%s\"\n",
+                scenario->name.c_str(), perturber.format().c_str());
+    chk::Explorer explorer;
+    const chk::TrialResult r =
+        explorer.runTrial(*scenario, perturber);
+    std::printf("completed: %s\npredicate: %s\nviolations: %llu\n",
+                r.completed ? "yes" : "NO (liveness)",
+                r.predicate_ok ? "held" : "VIOLATED",
+                static_cast<unsigned long long>(r.violation_count));
+    for (const std::string &v : r.violations)
+        std::printf("  %s\n", v.c_str());
+    if (!r.note.empty())
+        std::printf("note: %s\n", r.note.c_str());
+    std::printf("end time: %llu ticks, digest: 0x%016llx\n",
+                static_cast<unsigned long long>(r.end_time),
+                static_cast<unsigned long long>(r.digest));
+    return r.failed() ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -188,7 +260,20 @@ main(int argc, char **argv)
     if (!opt.trace_spec.empty())
         trace::enable(trace::parseCategories(opt.trace_spec));
 
+    SchedulePerturber perturber;
+    std::string perturb_error;
+    if (!SchedulePerturber::parse(opt.schedule, &perturber,
+                                  &perturb_error))
+        fatal("bad --schedule: %s", perturb_error.c_str());
+
+    if (opt.app == "chk")
+        return runCheckerScenario(opt, perturber);
+
     vm::Kernel kernel(toConfig(opt));
+    kernel.machine().setPerturber(&perturber);
+    std::unique_ptr<chk::Oracle> oracle;
+    if (opt.oracle)
+        oracle = std::make_unique<chk::Oracle>(kernel);
 
     std::unique_ptr<apps::Workload> app;
     apps::ConsistencyTester *tester = nullptr;
@@ -219,6 +304,9 @@ main(int argc, char **argv)
     std::printf("machsim: %s on %u CPUs (seed 0x%llx)\n",
                 opt.app.c_str(), opt.ncpus,
                 static_cast<unsigned long long>(opt.seed));
+    if (!perturber.empty())
+        std::printf("schedule: %s (%zu directive(s))\n",
+                    perturber.format().c_str(), perturber.size());
     const apps::WorkloadResult result = app->execute(kernel);
 
     std::printf("\nvirtual runtime: %.2f s\n",
@@ -242,14 +330,29 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(result.lazy_avoided));
     std::printf("%s", xpr::MachineStats::capture(kernel).report().c_str());
 
+    int rc = 0;
     if (tester != nullptr) {
         std::printf("\ntester verdict: %s\n",
                     tester->consistent() ? "consistent"
                                          : "INCONSISTENT");
-        return tester->consistent() == opt.shootdown ? 0 : 1;
+        rc = tester->consistent() == opt.shootdown ? 0 : 1;
+    } else {
+        const auto violations = kernel.pmaps().auditTlbConsistency();
+        std::printf("\nTLB consistency audit: %s\n",
+                    violations.empty() ? "clean" : "VIOLATIONS");
+        rc = violations.empty() ? 0 : 1;
     }
-    const auto violations = kernel.pmaps().auditTlbConsistency();
-    std::printf("\nTLB consistency audit: %s\n",
-                violations.empty() ? "clean" : "VIOLATIONS");
-    return violations.empty() ? 0 : 1;
+    if (oracle) {
+        oracle->finalCheck();
+        std::printf("oracle: %llu audits, %llu violation(s)\n",
+                    static_cast<unsigned long long>(
+                        oracle->opsAudited()),
+                    static_cast<unsigned long long>(
+                        oracle->violationCount()));
+        for (const std::string &v : oracle->violations())
+            std::printf("  %s\n", v.c_str());
+        if (!oracle->clean())
+            rc = 1;
+    }
+    return rc;
 }
