@@ -8,8 +8,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/agora.hh"
 #include "apps/camelot.hh"
@@ -17,6 +19,7 @@
 #include "apps/parthenon.hh"
 #include "apps/workload.hh"
 #include "base/logging.hh"
+#include "farm/farm.hh"
 #include "vm/kernel.hh"
 
 namespace mach::bench
@@ -97,6 +100,60 @@ runApp(unsigned index, const hw::MachineConfig &config)
     run.result = app->execute(kernel);
     run.runtime = run.result.virtual_runtime;
     return run;
+}
+
+/**
+ * Run-farm width for the bench binaries, from MACH_BENCH_JOBS
+ * (default 1: the bit-exact serial path). The sweeps below are one
+ * independent machine per config, so any width produces the same
+ * numbers -- farm width only changes the wall clock.
+ */
+inline unsigned
+benchJobs()
+{
+    const char *env = std::getenv("MACH_BENCH_JOBS");
+    if (env == nullptr)
+        return 1;
+    const int value = std::atoi(env);
+    return value >= 1 ? static_cast<unsigned>(value) : 1;
+}
+
+/**
+ * Run every measurement job concurrently on benchJobs() workers (or
+ * @p jobs when nonzero) and return when all are done. Jobs must
+ * write results into their own indexed slots and must not print --
+ * collect first, then report serially so tables stay ordered.
+ */
+inline void
+runFarmed(std::vector<std::function<void()>> jobs, unsigned jobs_override = 0)
+{
+    farm::runMany(std::move(jobs),
+                  jobs_override != 0 ? jobs_override : benchJobs());
+}
+
+/** One config point of a farmed application sweep. */
+struct SweepSpec
+{
+    unsigned app = 0; ///< makeApp index.
+    hw::MachineConfig config;
+};
+
+/**
+ * Run one fresh machine per spec, farmed across the bench width, and
+ * return the AppRuns indexed like @p specs (never completion order).
+ */
+inline std::vector<AppRun>
+runAppSweep(const std::vector<SweepSpec> &specs, unsigned jobs_override = 0)
+{
+    std::vector<AppRun> runs(specs.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        jobs.push_back([&specs, &runs, i] {
+            runs[i] = runApp(specs[i].app, specs[i].config);
+        });
+    runFarmed(std::move(jobs), jobs_override);
+    return runs;
 }
 
 inline void

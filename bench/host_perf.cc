@@ -13,12 +13,18 @@
  *   - shootdown_storm: the Section 5.1 consistency tester on 16 CPUs,
  *                      in simulated us per host ms;
  *   - app suite:       the four Section 5.2 applications (scaled by
- *                      MACH_BENCH_SCALE), same unit.
+ *                      MACH_BENCH_SCALE), same unit;
+ *   - explorer_sweep:  a late-window explorer probe batch run serial
+ *                      vs farmed (threads x fork snapshots), with a
+ *                      bit-identical-results check, in x speedup;
+ *   - bench_sweep:     an eight-config application sweep serial vs
+ *                      eight farm workers, same unit.
  *
  * The JSON is written to BENCH_host_perf.json in the working directory
  * so CI can archive the perf trajectory.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -28,9 +34,14 @@
 #include "bench_common.hh"
 
 #include "apps/consistency_tester.hh"
+#include "chk/explorer.hh"
+#include "chk/scenario.hh"
 #include "hw/phys_mem.hh"
 #include "hw/tlb.hh"
+#include "kern/cpu.hh"
+#include "kern/thread.hh"
 #include "sim/event_queue.hh"
+#include "vm/task.hh"
 
 namespace
 {
@@ -262,6 +273,240 @@ benchAppSuite()
     return r;
 }
 
+/** FNV-1a fold for the cross-mode equivalence check below. */
+std::uint64_t
+foldU64(std::uint64_t hash, std::uint64_t value)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        hash ^= (value >> (8 * i)) & 0xff;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/**
+ * The explorer sweep's workload: a writer storm whose warmup prefix
+ * dominates the run (three tight-loop writers churning for a long
+ * stretch) followed by a short reprotect tail. The library scenarios
+ * keep their warmups small so campaigns stay quick; this one is
+ * deliberately prefix-heavy because the bench measures how much of
+ * that prefix the farm's fork snapshots recover when every probe
+ * targets the tail.
+ */
+chk::Scenario
+sweepScenario()
+{
+    chk::Scenario s;
+    s.name = "host-perf-sweep";
+    s.summary = "deep warmup prefix, late reprotect tail";
+    s.config.ncpus = 6;
+    s.config.seed = 0x5eed5eedull;
+    s.bound = 600 * kMsec;
+    s.launch = [](vm::Kernel &kernel, chk::ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "sweep-driver",
+            [kp, state](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                vm::Task *task = kernel.createTask("sweep");
+                constexpr unsigned kWriters = 3;
+                VAddr base = 0;
+                if (!kernel.vmAllocate(drv, *task, &base,
+                                       kWriters * kPageSize, true)) {
+                    state->predicate_ok = false;
+                    state->note = "vmAllocate failed";
+                    state->finished = true;
+                    kernel.machine().ctx().requestStop();
+                    return;
+                }
+                bool stop = false;
+                std::vector<kern::Thread *> kids;
+                for (unsigned i = 0; i < kWriters; ++i) {
+                    kids.push_back(kernel.spawnThread(
+                        task, "sweep-writer",
+                        [kp, va = base + i * kPageSize,
+                         &stop](kern::Thread &self) {
+                            vm::Kernel &kernel = *kp;
+                            std::uint32_t n = 0;
+                            while (!stop) {
+                                kern::AccessResult r =
+                                    self.access(va, ProtWrite);
+                                if (r.ok)
+                                    kernel.machine().mem().write32(
+                                        r.paddr, ++n);
+                                self.cpu().advance(40 * kUsec);
+                            }
+                        },
+                        1 + static_cast<std::int64_t>(i)));
+                }
+                drv.sleep(150 * kMsec); // The deep shared prefix.
+                for (unsigned round = 0; round < 2; ++round) {
+                    if (!kernel.vmProtect(drv, *task, base,
+                                          kWriters * kPageSize,
+                                          ProtRead) ||
+                        !kernel.vmProtect(drv, *task, base,
+                                          kWriters * kPageSize,
+                                          ProtReadWrite)) {
+                        state->predicate_ok = false;
+                        state->note = "vmProtect failed";
+                    }
+                    drv.sleep(2 * kMsec);
+                }
+                stop = true;
+                for (kern::Thread *t : kids)
+                    drv.join(*t);
+                state->finished = true;
+                kernel.machine().ctx().requestStop();
+            },
+            0);
+    };
+    return s;
+}
+
+/**
+ * The explorer probe batch through the run farm: one late-window
+ * single-delay probe set over the prefix-heavy sweep scenario,
+ * executed four ways -- serial, 8 worker threads, fork snapshots, and
+ * both -- with a digest-equality check that all four modes saw
+ * bit-identical trials. The headline is the farmed speedup over the
+ * serial sweep; on a single-core host it is carried almost entirely
+ * by snapshot prefix reuse (each probe fork-clones the parked warmup
+ * instead of re-simulating it), with thread scaling on top where
+ * cores exist.
+ */
+Result
+benchExplorerSweep(unsigned scale)
+{
+    setLogQuiet(true);
+    const chk::Scenario scenario_obj = sweepScenario();
+    const chk::Scenario *scenario = &scenario_obj;
+
+    // Baseline run sizes the perturbation index space.
+    const chk::Explorer sizer;
+    const chk::TrialResult baseline = sizer.runTrial(*scenario, {});
+    if (baseline.failed())
+        fatal("host_perf: sweep scenario baseline failed");
+
+    // Late-window probes: every delay lands past 90% of the run, so
+    // the shared prefix is deep enough to be worth snapshotting.
+    const unsigned count = 24 * scale;
+    const std::uint64_t lo = baseline.events_fired * 9 / 10;
+    const std::uint64_t span = baseline.events_fired - lo;
+    constexpr Tick kLadder[] = {30 * kUsec, 120 * kUsec, 500 * kUsec,
+                                1500 * kUsec};
+    std::vector<SchedulePerturber> probes(count);
+    for (unsigned i = 0; i < count; ++i)
+        probes[i].delayEvent(lo + span * i / count,
+                             kLadder[i % std::size(kLadder)]);
+
+    struct Mode
+    {
+        const char *name;
+        farm::FarmOptions farm;
+        double host_ms = 0;
+    };
+    Mode modes[] = {
+        {"serial", {1, false}},
+        {"jobs8", {8, false}},
+        {"snapshots", {1, true}},
+        {"jobs8+snapshots", {8, true}},
+    };
+
+    const auto begin = Clock::now();
+    std::uint64_t folds[std::size(modes)];
+    for (std::size_t m = 0; m < std::size(modes); ++m) {
+        const chk::Explorer explorer(nullptr, modes[m].farm);
+        const auto mode_begin = Clock::now();
+        const std::vector<chk::TrialResult> trials =
+            explorer.runTrials(*scenario, probes);
+        modes[m].host_ms = elapsedMs(mode_begin);
+        std::uint64_t fold = 0xcbf29ce484222325ull;
+        for (const chk::TrialResult &t : trials) {
+            fold = foldU64(fold, t.completed);
+            fold = foldU64(fold, t.predicate_ok);
+            fold = foldU64(fold, t.violation_count);
+            fold = foldU64(fold, t.events_fired);
+            fold = foldU64(fold, t.digest);
+        }
+        folds[m] = fold;
+    }
+    for (std::size_t m = 1; m < std::size(modes); ++m) {
+        if (folds[m] != folds[0])
+            fatal("host_perf: explorer_sweep mode %s diverged from "
+                  "serial (0x%llx != 0x%llx)",
+                  modes[m].name,
+                  static_cast<unsigned long long>(folds[m]),
+                  static_cast<unsigned long long>(folds[0]));
+    }
+
+    Result r;
+    r.name = "explorer_sweep";
+    r.host_ms = elapsedMs(begin);
+    r.metric = "sweep_speedup_x";
+    r.rate = modes[0].host_ms /
+             std::max(1e-3, modes[std::size(modes) - 1].host_ms);
+    std::printf("  explorer_sweep:   %9.1f ms  %12.2f x speedup "
+                "(%u probes over %llu events; serial %.0f ms, "
+                "jobs8 %.0f ms, snapshots %.0f ms, "
+                "jobs8+snapshots %.0f ms; all modes "
+                "bit-identical)\n",
+                r.host_ms, r.rate, count,
+                static_cast<unsigned long long>(baseline.events_fired),
+                modes[0].host_ms, modes[1].host_ms, modes[2].host_ms,
+                modes[3].host_ms);
+    return r;
+}
+
+/**
+ * The bench-sweep path through the run farm: the four Section 5.2
+ * applications under two configurations each (eight fresh machines),
+ * serial vs eight workers, with a virtual-runtime equality check.
+ * On a single-core host the farm can only tie the serial sweep (the
+ * work is pure simulation, no shared prefix to reuse); the speedup
+ * materializes with host cores.
+ */
+Result
+benchBenchSweep()
+{
+    setLogQuiet(true);
+    std::vector<bench::SweepSpec> specs;
+    for (unsigned app = 0; app < 4; ++app) {
+        bench::SweepSpec plain;
+        plain.app = app;
+        specs.push_back(plain);
+        bench::SweepSpec multicast;
+        multicast.app = app;
+        multicast.config.multicast_ipi = true;
+        specs.push_back(multicast);
+    }
+
+    const auto begin = Clock::now();
+    const std::vector<bench::AppRun> serial =
+        bench::runAppSweep(specs, 1);
+    const double serial_ms = elapsedMs(begin);
+    const std::vector<bench::AppRun> farmed =
+        bench::runAppSweep(specs, 8);
+    const double farmed_ms = elapsedMs(begin) - serial_ms;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (serial[i].runtime != farmed[i].runtime)
+            fatal("host_perf: bench_sweep run %zu diverged across "
+                  "farm widths",
+                  i);
+    }
+
+    Result r;
+    r.name = "bench_sweep";
+    r.host_ms = elapsedMs(begin);
+    r.metric = "sweep_speedup_x";
+    r.rate = serial_ms / std::max(1e-3, farmed_ms);
+    std::printf("  bench_sweep:      %9.1f ms  %12.2f x speedup "
+                "(8 configs; serial %.0f ms, jobs8 %.0f ms, "
+                "runtimes identical)\n",
+                r.host_ms, r.rate, serial_ms, farmed_ms);
+    return r;
+}
+
 void
 writeJson(const std::vector<Result> &results, unsigned scale)
 {
@@ -296,6 +541,8 @@ main()
     results.push_back(benchTlbChurn(scale));
     results.push_back(benchShootdownStorm(scale));
     results.push_back(benchAppSuite());
+    results.push_back(benchExplorerSweep(scale));
+    results.push_back(benchBenchSweep());
     writeJson(results, scale);
     std::printf("wrote BENCH_host_perf.json\n");
     return 0;

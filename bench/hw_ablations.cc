@@ -64,32 +64,78 @@ const Option kOptions[] = {
      [](hw::MachineConfig &c) { c.high_priority_ipi = true; }},
 };
 
-bool
-testerProbe(const Option &option)
+constexpr unsigned kKs[] = {4u, 14u};
+
+/** One tester measurement (one k) under one hardware option. */
+struct ProbeCell
 {
-    std::printf("%-22s", option.name);
-    for (unsigned k : {4u, 14u}) {
-        hw::MachineConfig config;
-        option.apply(config);
-        config.seed = 0xab1a7e + k;
-        vm::Kernel kernel(config);
-        apps::ConsistencyTester tester(
-            {.children = k, .warmup = 30 * kMsec});
-        const apps::WorkloadResult result = tester.execute(kernel);
-        if (!tester.consistent()) {
-            std::printf("  !! INCONSISTENT at k=%u\n", k);
-            return false;
-        }
-        const auto &user = result.analysis.user_initiator;
-        const auto &resp = result.analysis.responder;
-        std::printf("  k=%-2u init %6.0fus resp %5.0fus ipi %3llu", k,
-                    user.time_usec.mean(),
-                    resp.events ? resp.time_usec.mean() : 0.0,
-                    static_cast<unsigned long long>(
-                        kernel.pmaps().shoot().interrupts_sent));
-    }
-    std::printf("\n");
-    return true;
+    bool consistent = false;
+    double init_usec = 0.0;
+    double resp_usec = 0.0;
+    std::uint64_t ipis = 0;
+};
+
+ProbeCell
+testerProbe(const Option &option, unsigned k)
+{
+    hw::MachineConfig config;
+    option.apply(config);
+    config.seed = 0xab1a7e + k;
+    vm::Kernel kernel(config);
+    apps::ConsistencyTester tester(
+        {.children = k, .warmup = 30 * kMsec});
+    const apps::WorkloadResult result = tester.execute(kernel);
+    ProbeCell cell;
+    cell.consistent = tester.consistent();
+    const auto &user = result.analysis.user_initiator;
+    const auto &resp = result.analysis.responder;
+    cell.init_usec = user.time_usec.mean();
+    cell.resp_usec = resp.events ? resp.time_usec.mean() : 0.0;
+    cell.ipis = kernel.pmaps().shoot().interrupts_sent;
+    return cell;
+}
+
+struct HipriRow
+{
+    double mean_usec = 0.0;
+    double stddev_usec = 0.0;
+    double p90_usec = 0.0;
+    std::uint64_t events = 0;
+};
+
+HipriRow
+measureHipri(bool high)
+{
+    hw::MachineConfig config;
+    config.high_priority_ipi = high;
+    config.seed = 0xab1a7e;
+    AppRun run = runApp(0, config);
+    const auto &k = run.result.analysis.kernel_initiator;
+    return HipriRow{k.time_usec.mean(), k.time_usec.stddev(),
+                    k.time_usec.percentile(0.9), k.events};
+}
+
+struct AsidRow
+{
+    bool consistent = false;
+    std::uint64_t flushes = 0;
+};
+
+AsidRow
+measureAsid(bool asid)
+{
+    hw::MachineConfig config;
+    config.tlb_asid_tags = asid;
+    config.seed = 0xab1a7e;
+    vm::Kernel kernel(config);
+    apps::ConsistencyTester tester(
+        {.children = 6, .warmup = 30 * kMsec});
+    tester.execute(kernel);
+    AsidRow row;
+    row.consistent = tester.consistent();
+    for (CpuId id = 0; id < kernel.machine().ncpus(); ++id)
+        row.flushes += kernel.machine().cpu(id).tlb().flushes;
+    return row;
 }
 
 } // namespace
@@ -98,31 +144,58 @@ int
 main()
 {
     setLogQuiet(true);
+
+    // Every cell is an independent machine; measure them all on the
+    // bench farm, then print the tables in fixed order.
+    constexpr std::size_t kNumOptions = std::size(kOptions);
+    std::vector<ProbeCell> cells(kNumOptions * std::size(kKs));
+    HipriRow hipri[2];
+    AsidRow asid[2];
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t o = 0; o < kNumOptions; ++o)
+        for (std::size_t i = 0; i < std::size(kKs); ++i)
+            jobs.push_back([&cells, o, i] {
+                cells[o * std::size(kKs) + i] =
+                    testerProbe(kOptions[o], kKs[i]);
+            });
+    for (int high = 0; high < 2; ++high)
+        jobs.push_back(
+            [&hipri, high] { hipri[high] = measureHipri(high != 0); });
+    for (int tags = 0; tags < 2; ++tags)
+        jobs.push_back(
+            [&asid, tags] { asid[tags] = measureAsid(tags != 0); });
+    runFarmed(std::move(jobs));
+
     std::printf("Section 9 ablations: basic shootdown cost under each "
                 "hardware option\n");
     std::printf("(Section 5.1 tester; consistency verified in every "
                 "configuration)\n\n");
 
-    for (const Option &option : kOptions) {
-        if (!testerProbe(option))
-            return 1;
+    for (std::size_t o = 0; o < kNumOptions; ++o) {
+        std::printf("%-22s", kOptions[o].name);
+        for (std::size_t i = 0; i < std::size(kKs); ++i) {
+            const ProbeCell &cell = cells[o * std::size(kKs) + i];
+            if (!cell.consistent) {
+                std::printf("  !! INCONSISTENT at k=%u\n", kKs[i]);
+                return 1;
+            }
+            std::printf("  k=%-2u init %6.0fus resp %5.0fus ipi %3llu",
+                        kKs[i], cell.init_usec, cell.resp_usec,
+                        static_cast<unsigned long long>(cell.ipis));
+        }
+        std::printf("\n");
     }
 
     // ---- The high-priority software interrupt vs the kernel skew ----
     std::printf("\nkernel-pmap shootdowns (Mach build) with and "
                 "without the high-priority software interrupt:\n");
-    for (bool high : {false, true}) {
-        hw::MachineConfig config;
-        config.high_priority_ipi = high;
-        config.seed = 0xab1a7e;
-        AppRun run = runApp(0, config);
-        const auto &k = run.result.analysis.kernel_initiator;
+    for (int high = 0; high < 2; ++high) {
+        const HipriRow &row = hipri[high];
         std::printf("  %-20s mean %5.0f +- %-5.0f us   90th %5.0f us "
                     "(%llu events)\n",
                     high ? "high-priority ipi" : "baseline",
-                    k.time_usec.mean(), k.time_usec.stddev(),
-                    k.time_usec.percentile(0.9),
-                    static_cast<unsigned long long>(k.events));
+                    row.mean_usec, row.stddev_usec, row.p90_usec,
+                    static_cast<unsigned long long>(row.events));
     }
     std::printf("(paper: the option would reduce kernel shootdown "
                 "times to more closely match user shootdowns and "
@@ -132,22 +205,13 @@ main()
     // ---- Address-space tags (Section 10 extension) -------------------
     std::printf("\naddress-space-tagged TLB (MIPS-style, Section 10 "
                 "extension):\n");
-    for (bool asid : {false, true}) {
-        hw::MachineConfig config;
-        config.tlb_asid_tags = asid;
-        config.seed = 0xab1a7e;
-        vm::Kernel kernel(config);
-        apps::ConsistencyTester tester(
-            {.children = 6, .warmup = 30 * kMsec});
-        tester.execute(kernel);
-        std::uint64_t flushes = 0;
-        for (CpuId id = 0; id < kernel.machine().ncpus(); ++id)
-            flushes += kernel.machine().cpu(id).tlb().flushes;
+    for (int tags = 0; tags < 2; ++tags) {
+        const AsidRow &row = asid[tags];
         std::printf("  %-20s consistent %-3s  whole-TLB flushes %llu\n",
-                    asid ? "asid tags" : "flush-on-switch",
-                    tester.consistent() ? "yes" : "NO",
-                    static_cast<unsigned long long>(flushes));
-        if (!tester.consistent())
+                    tags ? "asid tags" : "flush-on-switch",
+                    row.consistent ? "yes" : "NO",
+                    static_cast<unsigned long long>(row.flushes));
+        if (!row.consistent)
             return 1;
     }
     std::printf("(tags keep entries across context switches; the "

@@ -91,22 +91,27 @@ int
 main()
 {
     setLogQuiet(true);
+
+    // The two strategies are independent machines: measure both on
+    // the bench farm, then print in fixed order.
+    StrategyResult shoot;
+    StrategyResult delayed;
+    runFarmed(
+        {[&] { shoot = measure(hw::ConsistencyStrategy::Shootdown); },
+         [&] {
+             delayed = measure(hw::ConsistencyStrategy::DelayedFlush);
+         }});
+
     std::printf("Section 3: shootdown vs timer-driven delayed "
                 "flush\n\n");
     std::printf("%-16s %10s %14s %12s %12s %12s\n", "strategy",
                 "consistent", "reprotect(us)", "agora(ms)",
                 "TLB misses", "full flushes");
-
-    const StrategyResult shoot =
-        measure(hw::ConsistencyStrategy::Shootdown);
     std::printf("%-16s %10s %14.0f %12.0f %12llu %12llu\n",
                 "shootdown", shoot.consistent ? "yes" : "NO",
                 shoot.op_latency_usec, shoot.agora_runtime_ms,
                 static_cast<unsigned long long>(shoot.tlb_misses),
                 static_cast<unsigned long long>(shoot.full_flushes));
-
-    const StrategyResult delayed =
-        measure(hw::ConsistencyStrategy::DelayedFlush);
     std::printf("%-16s %10s %14.0f %12.0f %12llu %12llu\n",
                 "delayed-flush", delayed.consistent ? "yes" : "NO",
                 delayed.op_latency_usec, delayed.agora_runtime_ms,

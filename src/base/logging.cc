@@ -1,5 +1,6 @@
 #include "base/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,7 +9,11 @@ namespace mach
 
 namespace
 {
-bool log_quiet = false;
+/**
+ * Atomic because farm worker threads (src/farm) call setLogQuiet /
+ * warn concurrently; stderr itself is line-locked by libc.
+ */
+std::atomic<bool> log_quiet{false};
 
 void
 vlog(const char *tag, const char *fmt, va_list ap)
@@ -22,7 +27,7 @@ vlog(const char *tag, const char *fmt, va_list ap)
 void
 setLogQuiet(bool quiet)
 {
-    log_quiet = quiet;
+    log_quiet.store(quiet, std::memory_order_relaxed);
 }
 
 void
@@ -48,7 +53,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (log_quiet)
+    if (log_quiet.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -59,7 +64,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (log_quiet)
+    if (log_quiet.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);

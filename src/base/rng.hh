@@ -25,6 +25,33 @@ class Rng
   public:
     explicit Rng(std::uint64_t seed) { reseed(seed); }
 
+    /**
+     * A generator on the named substream of @p seed. Components that
+     * draw randomness alongside a workload (the explorer's probe
+     * generator, auxiliary tooling) must use their own named stream:
+     * folding the name into the seed decorrelates the streams even
+     * when the raw seeds collide, so adding or reordering one
+     * component's draws can never shift another's sequence.
+     */
+    Rng(std::uint64_t seed, const char *stream_name)
+        : Rng(streamSeed(seed, stream_name))
+    {
+    }
+
+    /** The effective seed of @p seed's @p stream_name substream. */
+    static std::uint64_t
+    streamSeed(std::uint64_t seed, const char *stream_name)
+    {
+        // FNV-1a over the name, then fold the seed in; the splitmix64
+        // expansion in reseed() whitens the result.
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (const char *c = stream_name; *c != '\0'; ++c) {
+            h ^= static_cast<unsigned char>(*c);
+            h *= 0x100000001b3ull;
+        }
+        return h ^ (seed * 0x9e3779b97f4a7c15ull);
+    }
+
     /** Re-initialize the state from a 64-bit seed via splitmix64. */
     void
     reseed(std::uint64_t seed)

@@ -1,17 +1,21 @@
 #include "base/trace.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace mach::trace
 {
 
-std::uint32_t g_mask = None;
+std::atomic<std::uint32_t> g_mask{None};
 
 namespace
 {
+/** Serializes sink replacement and line emission across farm workers. */
+std::mutex g_sink_mutex;
 std::function<void(const std::string &)> g_sink;
 
 const char *
@@ -37,30 +41,31 @@ categoryName(Category category)
 void
 enable(std::uint32_t categories)
 {
-    g_mask |= categories;
+    g_mask.fetch_or(categories, std::memory_order_relaxed);
 }
 
 void
 disable(std::uint32_t categories)
 {
-    g_mask &= ~categories;
+    g_mask.fetch_and(~categories, std::memory_order_relaxed);
 }
 
 void
 setMask(std::uint32_t categories)
 {
-    g_mask = categories;
+    g_mask.store(categories, std::memory_order_relaxed);
 }
 
 std::uint32_t
 mask()
 {
-    return g_mask;
+    return g_mask.load(std::memory_order_relaxed);
 }
 
 void
 setSink(std::function<void(const std::string &)> sink)
 {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
     g_sink = std::move(sink);
 }
 
@@ -113,6 +118,9 @@ log(Category category, Tick now, const char *fmt, ...)
                   static_cast<unsigned long long>(now / kUsec),
                   categoryName(category), body);
 
+    // One lock per emitted line only -- disabled categories never get
+    // here -- keeping concurrent machines' lines whole.
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
     if (g_sink)
         g_sink(line);
     else

@@ -15,6 +15,7 @@
 #ifndef MACH_BASE_TRACE_HH
 #define MACH_BASE_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -48,12 +49,16 @@ void setMask(std::uint32_t categories);
 /** Current mask. */
 std::uint32_t mask();
 
-/** Is any of @p categories enabled? (The cheap inline gate.) */
+/**
+ * Is any of @p categories enabled? (The cheap inline gate.) The mask
+ * is atomic so run-farm worker threads can trace concurrently; the
+ * relaxed load compiles to the same plain read as before.
+ */
 inline bool
 enabled(std::uint32_t categories)
 {
-    extern std::uint32_t g_mask;
-    return (g_mask & categories) != 0;
+    extern std::atomic<std::uint32_t> g_mask;
+    return (g_mask.load(std::memory_order_relaxed) & categories) != 0;
 }
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "base/rng.hh"
 #include "chk/oracle.hh"
@@ -33,54 +34,304 @@ constexpr Tick kDeltaLadder[] = {30 * kUsec, 120 * kUsec, 500 * kUsec,
                                  1500 * kUsec};
 constexpr unsigned kDeltaLadderSize = 4;
 
+/** Liveness bound for one perturbed run: the unperturbed bound plus
+ *  every injected delay. A delay-only perturbation can stretch a run
+ *  by at most the sum of its extras, so exceeding this bound means
+ *  some shootdown (or join on one) genuinely failed to terminate. */
+Tick
+perturbedBound(const Scenario &scenario, const SchedulePerturber &p)
+{
+    Tick bound = scenario.bound;
+    for (const PerturbItem &item : p.items())
+        bound += item.extra;
+    return bound;
+}
+
+/**
+ * One trial's machinery: kernel, oracle, workload -- everything that
+ * exists from launch to verdict. Kept in one place so the serial
+ * path (construct, run, finish) and the snapshot path (construct,
+ * run the shared prefix, fork, resume, finish in the child) assemble
+ * TrialResults with byte-identical rules.
+ */
+struct TrialHarness
+{
+    vm::Kernel kernel;
+    Oracle oracle;
+    ScenarioState state;
+
+    explicit TrialHarness(const Scenario &scenario,
+                          const SchedulePerturber *perturber = nullptr)
+        : kernel(scenario.config), oracle(kernel)
+    {
+        if (perturber != nullptr)
+            kernel.machine().setPerturber(perturber);
+        scenario.launch(kernel, &state);
+    }
+
+    /** Judge the finished run; @p events_fired is the run() total. */
+    TrialResult
+    finish(std::uint64_t events_fired)
+    {
+        TrialResult out;
+        oracle.finalCheck();
+        kernel.machine().setPerturber(nullptr);
+
+        out.events_fired = events_fired;
+        out.completed = state.finished;
+        out.predicate_ok = state.predicate_ok;
+        out.coverage_ok = state.coverage_ok;
+        out.note = state.note;
+        out.violations = oracle.violations();
+        out.violation_count = oracle.violationCount();
+        out.bus_accesses = kernel.machine().bus().accessCount();
+        out.end_time = kernel.machine().now();
+
+        const pmap::ShootdownController &shoot =
+            kernel.pmaps().shoot();
+        std::uint64_t h = kFnvOffset;
+        h = fold(h, out.end_time);
+        h = fold(h, out.events_fired);
+        h = fold(h, out.bus_accesses);
+        h = fold(h, shoot.initiated);
+        h = fold(h, shoot.interrupts_sent);
+        h = fold(h, shoot.responder_passes);
+        h = fold(h, shoot.idle_drains);
+        h = fold(h, shoot.queue_overflows);
+        h = fold(h, shoot.remote_invalidates);
+        h = fold(h, out.violation_count);
+        out.digest = h;
+        return out;
+    }
+};
+
+// ---- TrialResult wire form (fork-snapshot children -> parent) -------
+
+void
+appendU64(std::string &s, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+bool
+readU64(const std::string &s, std::size_t *pos, std::uint64_t *v)
+{
+    if (*pos + 8 > s.size())
+        return false;
+    std::uint64_t out = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        out |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(s[*pos + i]))
+               << (8 * i);
+    *pos += 8;
+    *v = out;
+    return true;
+}
+
+bool
+readString(const std::string &s, std::size_t *pos, std::string *out)
+{
+    std::uint64_t len = 0;
+    if (!readU64(s, pos, &len) || *pos + len > s.size())
+        return false;
+    out->assign(s, *pos, static_cast<std::size_t>(len));
+    *pos += static_cast<std::size_t>(len);
+    return true;
+}
+
+constexpr std::uint64_t kTrialWireMagic = 0x4d464152'5452494cull;
+
+std::string
+encodeTrial(const TrialResult &r)
+{
+    std::string s;
+    appendU64(s, kTrialWireMagic);
+    appendU64(s, r.completed ? 1 : 0);
+    appendU64(s, r.predicate_ok ? 1 : 0);
+    appendU64(s, r.coverage_ok ? 1 : 0);
+    appendU64(s, r.violation_count);
+    appendU64(s, r.events_fired);
+    appendU64(s, r.bus_accesses);
+    appendU64(s, r.end_time);
+    appendU64(s, r.digest);
+    appendU64(s, r.note.size());
+    s += r.note;
+    appendU64(s, r.violations.size());
+    for (const std::string &v : r.violations) {
+        appendU64(s, v.size());
+        s += v;
+    }
+    return s;
+}
+
+bool
+decodeTrial(const std::string &s, TrialResult *out)
+{
+    std::size_t pos = 0;
+    std::uint64_t magic = 0, flag = 0, count = 0;
+    if (!readU64(s, &pos, &magic) || magic != kTrialWireMagic)
+        return false;
+    if (!readU64(s, &pos, &flag))
+        return false;
+    out->completed = flag != 0;
+    if (!readU64(s, &pos, &flag))
+        return false;
+    out->predicate_ok = flag != 0;
+    if (!readU64(s, &pos, &flag))
+        return false;
+    out->coverage_ok = flag != 0;
+    if (!readU64(s, &pos, &out->violation_count) ||
+        !readU64(s, &pos, &out->events_fired) ||
+        !readU64(s, &pos, &out->bus_accesses) ||
+        !readU64(s, &pos, &out->end_time) ||
+        !readU64(s, &pos, &out->digest))
+        return false;
+    if (!readString(s, &pos, &out->note))
+        return false;
+    if (!readU64(s, &pos, &count) || count > 4096)
+        return false;
+    out->violations.clear();
+    out->violations.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::string v;
+        if (!readString(s, &pos, &v))
+            return false;
+        out->violations.push_back(std::move(v));
+    }
+    return pos == s.size();
+}
+
+// ---- Fork-snapshot batch runner -------------------------------------
+
+/** Slack between the park watermark and the earliest perturbed index:
+ *  one event body may insert many events or issue many bus accesses
+ *  before runGuarded re-checks, so park comfortably early. */
+constexpr std::uint64_t kSnapshotMargin = 512;
+/** Below this many shared prefix events the skipped work does not
+ *  cover the per-probe fork/pipe overhead: run the batch normally. */
+constexpr std::uint64_t kMinPrefixEvents = 4096;
+
+/**
+ * Try to run @p probes off one fork-style prefix snapshot: simulate
+ * the batch's shared unperturbed prefix once, park it, then fork one
+ * child per probe to install its perturber and resume. Fills
+ * results[i]/done[i] for every probe it completes; probes it cannot
+ * serve (park failed, a directive landed inside the prefix, a child
+ * died) are left for the caller's full-run fallback. Never changes a
+ * result: a child's TrialResult is byte-identical to runTrial()'s.
+ */
+void
+runSnapshotBatch(const Scenario &scenario,
+                 const std::vector<SchedulePerturber> &probes,
+                 unsigned jobs, std::vector<TrialResult> &results,
+                 std::vector<char> &done)
+{
+    constexpr std::uint64_t kNone = ~std::uint64_t{0};
+    std::uint64_t min_eseq = kNone;
+    std::uint64_t min_bidx = kNone;
+    for (const SchedulePerturber &p : probes)
+        for (const PerturbItem &item : p.items()) {
+            if (item.bus)
+                min_bidx = std::min(min_bidx, item.index);
+            else
+                min_eseq = std::min(min_eseq, item.index);
+        }
+    if (min_eseq == kNone && min_bidx == kNone)
+        return; // all-baseline batch: nothing a snapshot could skip
+    const auto watermark = [](std::uint64_t lo) {
+        if (lo == kNone)
+            return kNone;
+        return lo > kSnapshotMargin ? lo - kSnapshotMargin
+                                    : std::uint64_t{0};
+    };
+    const std::uint64_t ew = watermark(min_eseq);
+    const std::uint64_t bw = watermark(min_bidx);
+    if (ew == 0 || bw == 0)
+        return; // a directive fires too early to park before it
+
+    TrialHarness harness(scenario);
+    const kern::Machine::PrefixRun prefix =
+        harness.kernel.machine().runPrefix(ew, bw, scenario.bound);
+    if (!prefix.parked || prefix.events < kMinPrefixEvents)
+        return; // run completed (must not resume) or prefix too thin
+
+    const std::uint64_t park_events =
+        harness.kernel.machine().ctx().queue().scheduledCount();
+    const std::uint64_t park_bus =
+        harness.kernel.machine().bus().accessCount();
+
+    // The park point lands at the first event boundary past a
+    // watermark, which may overshoot: re-check each probe's
+    // directives against where the prefix actually stopped.
+    std::vector<std::size_t> valid;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        bool ok = true;
+        for (const PerturbItem &item : probes[i].items()) {
+            const std::uint64_t floor =
+                item.bus ? park_bus : park_events;
+            if (item.index <= floor) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            valid.push_back(i);
+    }
+    if (valid.empty())
+        return;
+
+    const std::vector<std::optional<std::string>> payloads =
+        farm::forkMany(valid.size(), jobs, [&](std::size_t k) {
+            const SchedulePerturber &p = probes[valid[k]];
+            harness.kernel.machine().setPerturber(&p);
+            const std::uint64_t fired = harness.kernel.machine().run(
+                perturbedBound(scenario, p));
+            return encodeTrial(harness.finish(prefix.events + fired));
+        });
+    for (std::size_t k = 0; k < valid.size(); ++k) {
+        if (!payloads[k])
+            continue;
+        TrialResult r;
+        if (decodeTrial(*payloads[k], &r)) {
+            results[valid[k]] = std::move(r);
+            done[valid[k]] = 1;
+        }
+    }
+}
+
 } // namespace
 
 TrialResult
 Explorer::runTrial(const Scenario &scenario,
                    const SchedulePerturber &perturber) const
 {
-    TrialResult out;
+    TrialHarness harness(scenario, &perturber);
+    const std::uint64_t fired = harness.kernel.machine().run(
+        perturbedBound(scenario, perturber));
+    return harness.finish(fired);
+}
 
-    // Liveness bound: the unperturbed bound plus every injected
-    // delay. A delay-only perturbation can stretch a run by at most
-    // the sum of its extras, so exceeding this bound means some
-    // shootdown (or join on one) genuinely failed to terminate.
-    Tick bound = scenario.bound;
-    for (const PerturbItem &item : perturber.items())
-        bound += item.extra;
+std::vector<TrialResult>
+Explorer::runTrials(const Scenario &scenario,
+                    const std::vector<SchedulePerturber> &probes) const
+{
+    std::vector<TrialResult> results(probes.size());
+    std::vector<char> done(probes.size(), 0);
 
-    vm::Kernel kernel(scenario.config);
-    kernel.machine().setPerturber(&perturber);
-    Oracle oracle(kernel);
-    ScenarioState state;
-    scenario.launch(kernel, &state);
-    out.events_fired = kernel.machine().run(bound);
-    oracle.finalCheck();
-    kernel.machine().setPerturber(nullptr);
+    if (farm_.snapshots && farm::forkAvailable() && probes.size() >= 2)
+        runSnapshotBatch(scenario, probes, farm_.jobs, results, done);
 
-    out.completed = state.finished;
-    out.predicate_ok = state.predicate_ok;
-    out.coverage_ok = state.coverage_ok;
-    out.note = state.note;
-    out.violations = oracle.violations();
-    out.violation_count = oracle.violationCount();
-    out.bus_accesses = kernel.machine().bus().accessCount();
-    out.end_time = kernel.machine().now();
-
-    const pmap::ShootdownController &shoot = kernel.pmaps().shoot();
-    std::uint64_t h = kFnvOffset;
-    h = fold(h, out.end_time);
-    h = fold(h, out.events_fired);
-    h = fold(h, out.bus_accesses);
-    h = fold(h, shoot.initiated);
-    h = fold(h, shoot.interrupts_sent);
-    h = fold(h, shoot.responder_passes);
-    h = fold(h, shoot.idle_drains);
-    h = fold(h, shoot.queue_overflows);
-    h = fold(h, shoot.remote_invalidates);
-    h = fold(h, out.violation_count);
-    out.digest = h;
-    return out;
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        if (done[i])
+            continue;
+        jobs.push_back([this, &scenario, &probes, &results, i] {
+            results[i] = runTrial(scenario, probes[i]);
+        });
+    }
+    farm::runMany(std::move(jobs), farm_.jobs);
+    return results;
 }
 
 ExploreResult
@@ -103,64 +354,108 @@ Explorer::explore(const Scenario &scenario, const ExploreOptions &opt)
     const std::uint64_t n_bus =
         std::max<std::uint64_t>(1, res.baseline.bus_accesses);
 
-    auto consider = [&](const SchedulePerturber &p) {
-        const TrialResult r = runTrial(scenario, p);
-        ++res.trials;
-        if (!r.failed())
-            return false;
-        ++res.failures;
-        if (res.failures == 1) {
-            res.first_failing = p;
-            res.first_failure = r;
-            say("failing schedule for " + scenario.name + ": " +
-                p.format());
-        }
-        return true;
+    // Probe index window (defaults cover the whole run).
+    const auto windowed = [](std::uint64_t n, double lo, double hi) {
+        std::uint64_t first =
+            1 + static_cast<std::uint64_t>(lo * static_cast<double>(n));
+        std::uint64_t last =
+            static_cast<std::uint64_t>(hi * static_cast<double>(n));
+        first = std::min(first, n);
+        last = std::min(std::max(last, first), n);
+        return std::pair<std::uint64_t, std::uint64_t>{first, last};
     };
+    const auto [e_lo, e_hi] =
+        windowed(n_events, opt.sweep_lo, opt.sweep_hi);
+    const auto [b_lo, b_hi] = windowed(n_bus, opt.sweep_lo, opt.sweep_hi);
+
+    // Probe generation is split from execution so batches can be
+    // farmed; the lists are exactly the schedules the serial loops
+    // used to produce, in the same order.
 
     // Phase 1: bounded-systematic sweep. One delayed event per
-    // probe, seq striding across the whole baseline index space,
-    // cycling the delta ladder -- the swap-window enumeration.
-    bool found = false;
+    // probe, seq striding across the window, cycling the delta
+    // ladder -- the swap-window enumeration.
+    std::vector<SchedulePerturber> probes;
     if (opt.systematic_budget != 0) {
-        const std::uint64_t stride = std::max<std::uint64_t>(
-            1, n_events / opt.systematic_budget);
+        const std::uint64_t span = e_hi - e_lo + 1;
+        const std::uint64_t stride =
+            std::max<std::uint64_t>(1, span / opt.systematic_budget);
         unsigned used = 0;
-        for (std::uint64_t seq = 1;
-             seq <= n_events && used < opt.systematic_budget;
+        for (std::uint64_t seq = e_lo;
+             seq <= e_hi && used < opt.systematic_budget;
              seq += stride, ++used) {
             SchedulePerturber p;
             p.delayEvent(seq, kDeltaLadder[used % kDeltaLadderSize]);
-            if (consider(p) && opt.stop_at_first) {
-                found = true;
-                break;
-            }
+            probes.push_back(std::move(p));
         }
     }
+    const std::size_t n_systematic = probes.size();
 
     // Phase 2: randomized multi-delay probes over events and bus
-    // accesses. Seeded independently of the machine, so the campaign
-    // is reproducible end to end.
-    if (!found) {
-        Rng rng(opt.seed);
-        for (unsigned t = 0; t < opt.random_budget; ++t) {
-            SchedulePerturber p;
-            const unsigned k = 1 + static_cast<unsigned>(
-                                       rng.below(opt.max_delays));
-            for (unsigned j = 0; j < k; ++j) {
-                const Tick extra =
-                    opt.min_extra +
-                    rng.below(opt.max_extra - opt.min_extra + 1);
-                if (rng.chance(0.15))
-                    p.delayBusAccess(1 + rng.below(n_bus), extra);
-                else
-                    p.delayEvent(1 + rng.below(n_events), extra);
+    // accesses. Drawn from the explorer's own named stream -- probe
+    // generation shares a seed with nothing else, so scenario
+    // workloads keep their schedules no matter how many probes run.
+    Rng rng(opt.seed, "chk.explorer.probes");
+    for (unsigned t = 0; t < opt.random_budget; ++t) {
+        SchedulePerturber p;
+        const unsigned k =
+            1 + static_cast<unsigned>(rng.below(opt.max_delays));
+        for (unsigned j = 0; j < k; ++j) {
+            const Tick extra =
+                opt.min_extra +
+                rng.below(opt.max_extra - opt.min_extra + 1);
+            if (rng.chance(0.15))
+                p.delayBusAccess(b_lo + rng.below(b_hi - b_lo + 1),
+                                 extra);
+            else
+                p.delayEvent(e_lo + rng.below(e_hi - e_lo + 1), extra);
+        }
+        probes.push_back(std::move(p));
+    }
+
+    // Execute in waves. Accounting is as-if-serial regardless of the
+    // farm shape: a wave's extra speculative trials past the first
+    // failure are never counted, so trials/failures/first_failing
+    // are independent of jobs, snapshots, and wave size. Waves grow
+    // geometrically: stop_at_first campaigns that fail early waste
+    // little speculation, ones that run long amortize the farm.
+    const bool farmed =
+        farm_.jobs > 1 || (farm_.snapshots && farm::forkAvailable());
+    std::size_t wave_size = farmed ? 4 : 1;
+    const std::size_t wave_cap =
+        farmed ? std::max<std::size_t>(std::size_t{farm_.jobs} * 4, 32)
+               : 1;
+    for (std::size_t base = 0; base < probes.size();) {
+        const std::size_t end =
+            std::min(probes.size(), base + wave_size);
+        const std::vector<SchedulePerturber> wave(
+            probes.begin() + static_cast<std::ptrdiff_t>(base),
+            probes.begin() + static_cast<std::ptrdiff_t>(end));
+        const std::vector<TrialResult> rs = runTrials(scenario, wave);
+
+        bool stop = false;
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+            ++res.trials;
+            if (!rs[i].failed())
+                continue;
+            ++res.failures;
+            if (res.failures == 1) {
+                res.first_failing = wave[i];
+                res.first_failure = rs[i];
+                const std::size_t ord = base + i;
+                say("failing schedule for " + scenario.name + " (" +
+                    (ord < n_systematic ? "systematic" : "random") +
+                    " probe): " + wave[i].format());
             }
-            if (consider(p) && opt.stop_at_first) {
-                found = true;
+            if (opt.stop_at_first) {
+                stop = true;
                 break;
             }
         }
+        if (stop)
+            break;
+        base = end;
+        wave_size = std::min(wave_cap, wave_size * 2);
     }
 
     if (res.failures != 0) {
@@ -195,24 +490,50 @@ Explorer::minimize(const Scenario &scenario,
     };
 
     // 1-minimal reduction: drop directives one at a time until no
-    // single drop still reproduces the failure.
+    // single drop still reproduces the failure. Each round farms the
+    // whole drop-one wave, then charges the budget exactly as the
+    // serial loop would have -- up to and including the first failing
+    // candidate -- so `used`, the surviving items, and the final
+    // schedule never depend on the farm shape.
+    bool exhausted = false;
     bool changed = true;
-    while (changed && items.size() > 1) {
+    while (changed && items.size() > 1 && !exhausted) {
         changed = false;
+        std::vector<std::vector<PerturbItem>> cands;
+        cands.reserve(items.size());
         for (std::size_t i = 0; i < items.size(); ++i) {
             std::vector<PerturbItem> cand = items;
-            cand.erase(cand.begin() +
-                       static_cast<std::ptrdiff_t>(i));
-            if (fails(cand)) {
-                items = cand;
-                changed = true;
+            cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+            cands.push_back(std::move(cand));
+        }
+        const std::size_t can_run = std::min<std::size_t>(
+            cands.size(), budget - used);
+        std::vector<SchedulePerturber> wave;
+        wave.reserve(can_run);
+        for (std::size_t i = 0; i < can_run; ++i)
+            wave.push_back(SchedulePerturber::fromItems(cands[i]));
+        const std::vector<TrialResult> rs = runTrials(scenario, wave);
+
+        std::size_t first_fail = can_run;
+        for (std::size_t i = 0; i < can_run; ++i)
+            if (rs[i].failed()) {
+                first_fail = i;
                 break;
             }
+        if (first_fail < can_run) {
+            used += static_cast<unsigned>(first_fail) + 1;
+            items = std::move(cands[first_fail]);
+            changed = true;
+        } else {
+            used += static_cast<unsigned>(can_run);
+            if (can_run < cands.size())
+                exhausted = true; // serial would idle out the rest
         }
     }
 
     // Delta shrinking: halve each surviving delay while the failure
     // still reproduces, to report the smallest sufficient stretch.
+    // Inherently serial -- every halving depends on the last verdict.
     for (std::size_t i = 0; i < items.size(); ++i) {
         while (items[i].extra > 1) {
             std::vector<PerturbItem> cand = items;

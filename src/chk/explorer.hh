@@ -38,6 +38,7 @@
 #include "base/perturb.hh"
 #include "base/types.hh"
 #include "chk/scenario.hh"
+#include "farm/farm.hh"
 
 namespace mach::chk
 {
@@ -89,6 +90,17 @@ struct ExploreOptions
     bool stop_at_first = true;
     /** Fail the campaign when baseline coverage did not fire. */
     bool check_coverage = true;
+    /**
+     * Probe index window, as fractions of the baseline index space:
+     * systematic and random probes only target event sequences and
+     * bus accesses in [sweep_lo, sweep_hi] x baseline count. The
+     * default sweeps the whole run. Narrowing to a late window
+     * focuses the campaign past a warmup prefix -- which the run
+     * farm then simulates once, snapshots, and shares across every
+     * probe in a wave instead of replaying it from tick 0.
+     */
+    double sweep_lo = 0.0;
+    double sweep_hi = 1.0;
 };
 
 /** Outcome of an exploration campaign. */
@@ -120,7 +132,13 @@ class Explorer
   public:
     using Log = std::function<void(const std::string &)>;
 
-    explicit Explorer(Log log = nullptr) : log_(std::move(log)) {}
+    explicit Explorer(Log log = nullptr, farm::FarmOptions farm = {})
+        : log_(std::move(log)), farm_(farm)
+    {
+    }
+
+    /** How this explorer farms out probe batches. */
+    const farm::FarmOptions &farm() const { return farm_; }
 
     /**
      * One run of @p scenario under @p perturber on a fresh kernel.
@@ -129,6 +147,21 @@ class Explorer
      */
     TrialResult runTrial(const Scenario &scenario,
                          const SchedulePerturber &perturber) const;
+
+    /**
+     * Run one trial per perturbation in @p probes and return their
+     * results in probe order. Semantically identical to calling
+     * runTrial() in a loop -- same TrialResults, digests included --
+     * but farmed: with farm().jobs > 1 the probes run on that many
+     * worker threads, and with farm().snapshots (where fork() is
+     * available) the batch's shared unperturbed prefix -- everything
+     * before the earliest perturbed index -- is simulated once,
+     * parked, and fork-cloned per probe instead of re-run. Probes
+     * whose snapshot is unusable silently fall back to full runs.
+     */
+    std::vector<TrialResult>
+    runTrials(const Scenario &scenario,
+              const std::vector<SchedulePerturber> &probes) const;
 
     /** Full campaign: baseline, sweep, random probes, minimization. */
     ExploreResult explore(const Scenario &scenario,
@@ -151,6 +184,7 @@ class Explorer
     }
 
     Log log_;
+    farm::FarmOptions farm_;
 };
 
 } // namespace mach::chk

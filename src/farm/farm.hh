@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Run-farm knobs shared by the explorer, the benches, and machsim.
+ */
+
+#ifndef MACH_FARM_FARM_HH
+#define MACH_FARM_FARM_HH
+
+#include <cstdlib>
+
+#include "farm/fork_pool.hh"
+#include "farm/thread_pool.hh"
+
+namespace mach::farm
+{
+
+/** How a campaign (probe batch, config sweep, seed batch) is run. */
+struct FarmOptions
+{
+    /** Concurrent runs; 1 = the bit-exact serial path, no threads. */
+    unsigned jobs = 1;
+    /**
+     * Allow fork-style prefix snapshots where the batch supports them
+     * (probes sharing an unperturbed warmup prefix). Snapshots never
+     * change results -- only whether the prefix is re-simulated.
+     */
+    bool snapshots = true;
+
+    /**
+     * Options from the environment: MACH_FARM_JOBS (width, default
+     * @p fallback_jobs) and MACH_FARM_SNAPSHOTS (0 disables).
+     */
+    static FarmOptions fromEnv(unsigned fallback_jobs = 1)
+    {
+        FarmOptions opt;
+        opt.jobs = defaultJobs(fallback_jobs);
+        if (const char *env = std::getenv("MACH_FARM_SNAPSHOTS"))
+            opt.snapshots = env[0] != '0';
+        return opt;
+    }
+};
+
+} // namespace mach::farm
+
+#endif // MACH_FARM_FARM_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fork-style snapshot workers for the run farm.
+ *
+ * A parked Machine cannot be cloned in-process: its fibers' ucontext
+ * stacks are full of raw pointers into the original heap, so a deep
+ * copy can never be fixed up. fork() sidesteps the problem -- the
+ * child gets a copy-on-write image of the entire address space,
+ * fiber stacks included, at effectively zero cost. Each perturbed
+ * probe then resumes from the snapshot in its own child process and
+ * ships a small serialized result back over a pipe, instead of
+ * re-simulating the whole unperturbed warmup prefix from tick 0.
+ *
+ * Child discipline (see forkMany): the child must not touch shared
+ * host resources -- it runs fn(i), writes the returned payload to its
+ * pipe with raw write(), and leaves via _exit(0) so no atexit hooks,
+ * stream flushes, or destructors of the parent's objects run twice.
+ * The parent fflushes stdio before each fork so buffered output is
+ * not duplicated into children.
+ */
+
+#ifndef MACH_FARM_FORK_POOL_HH
+#define MACH_FARM_FORK_POOL_HH
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mach::farm
+{
+
+/**
+ * Whether fork-based snapshots work here: a unix host, not running
+ * under ThreadSanitizer (TSan instrumentation does not survive an
+ * unsynchronized fork+resume). When false, callers fall back to
+ * re-simulating each probe from tick 0 -- same results, more time.
+ */
+bool forkAvailable();
+
+/**
+ * Run fn(0..n-1) in child processes, at most @p jobs alive at once,
+ * and return each child's payload string, indexed by i. A slot is
+ * nullopt when the child died on a signal or nonzero exit (the
+ * caller re-runs that probe serially). Must be called from the
+ * thread that owns the Machine being snapshotted, with no other farm
+ * threads running -- fork() only clones the calling thread.
+ */
+std::vector<std::optional<std::string>>
+forkMany(std::size_t n, unsigned jobs,
+         const std::function<std::string(std::size_t)> &fn);
+
+} // namespace mach::farm
+
+#endif // MACH_FARM_FORK_POOL_HH

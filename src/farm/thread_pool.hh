@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The run farm's work-stealing thread pool.
+ *
+ * The simulator is single-threaded by construction -- one Machine, one
+ * host thread, fibers interleaved at explicit simulation points -- but
+ * campaigns (explorer sweeps, bench config sweeps, machsim --repeat)
+ * are embarrassingly parallel: every probe or config is an independent
+ * deterministic run on its own Machine. The pool runs N such fully
+ * isolated machines concurrently, one per worker thread.
+ *
+ * Isolation contract (docs/SIMULATOR.md "Run farm"): a Machine (or
+ * vm::Kernel) must be constructed, driven, and inspected on a single
+ * worker -- fiber scheduler state is thread-local, and a fiber's saved
+ * context links back to the resuming thread's scheduler slot. Jobs
+ * therefore own their machines wholesale; only plain results cross
+ * threads, after join. Determinism is preserved by indexing results by
+ * job, never by completion order.
+ *
+ * Scheduling is work-stealing: each worker owns a deque, pushes and
+ * pops at its own back, and steals from the front of a victim's deque
+ * when empty. Simulation jobs are milliseconds to seconds long, so a
+ * tiny mutex per deque (not a lock-free Chase-Lev deque) is far below
+ * measurement noise while keeping the stealing behaviour -- long jobs
+ * migrate to idle workers instead of convoying behind a slow one.
+ */
+
+#ifndef MACH_FARM_THREAD_POOL_HH
+#define MACH_FARM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mach::farm
+{
+
+/** Fixed-size work-stealing pool; jobs are void() closures. */
+class ThreadPool
+{
+  public:
+    using Job = std::function<void()>;
+
+    /** Start @p workers threads (at least one). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Waits for every submitted job, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job; round-robins across worker deques. */
+    void submit(Job job);
+
+    /** Block until every job submitted so far has finished. */
+    void wait();
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<Job> jobs;
+    };
+
+    void workerLoop(unsigned self);
+    /** Pop from own back, else steal from another's front. */
+    bool takeJob(unsigned self, Job *out);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex state_mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable all_done_;
+    std::size_t pending_ = 0;   ///< Submitted, not yet finished.
+    std::size_t available_ = 0; ///< Tickets: jobs enqueued, unclaimed.
+    unsigned next_deque_ = 0;   ///< Round-robin submission cursor.
+    bool shutdown_ = false;
+};
+
+/**
+ * Run every job in @p jobs to completion on @p workers concurrent
+ * threads and return when all have finished. With workers <= 1 the
+ * jobs run inline on the calling thread, in order, with no threads
+ * created -- the bit-exact serial path. Results must be communicated
+ * through the closures (indexed slots), never by completion order.
+ */
+void runMany(std::vector<std::function<void()>> jobs, unsigned workers);
+
+/**
+ * Farm width from the MACH_FARM_JOBS environment variable, falling
+ * back to @p fallback (0 = the host's hardware concurrency).
+ */
+unsigned defaultJobs(unsigned fallback = 1);
+
+} // namespace mach::farm
+
+#endif // MACH_FARM_THREAD_POOL_HH

@@ -9,10 +9,16 @@ namespace mach::sim
 
 namespace
 {
-/** The fiber currently executing; null while in the scheduler. */
-Fiber *current_fiber = nullptr;
+/**
+ * The fiber currently executing; null while in the scheduler. One slot
+ * per host thread: the run farm (src/farm) drives one Machine per
+ * worker thread, and each machine's fibers yield to the scheduler
+ * context of the thread that resumed them, so the two threads never
+ * share fiber state.
+ */
+thread_local Fiber *current_fiber = nullptr;
 /** Saved scheduler (main) context to return to on yield. */
-ucontext_t scheduler_context;
+thread_local ucontext_t scheduler_context;
 } // namespace
 
 Fiber::Fiber(std::string name, Entry entry, std::size_t stack_size)

@@ -5,10 +5,10 @@
 namespace mach::vm
 {
 
-std::uint64_t Task::next_id_ = 1;
+std::atomic<std::uint64_t> Task::next_id_{1};
 
 Task::Task(Kernel *kernel, std::string name)
-    : kernel_(kernel), id_(next_id_++), name_(std::move(name)),
+    : kernel_(kernel), id_(next_id_.fetch_add(1, std::memory_order_relaxed)), name_(std::move(name)),
       map_(name_, kUserLo, kUserHi),
       pmap_(kernel->pmaps().createPmap())
 {

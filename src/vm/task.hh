@@ -11,6 +11,7 @@
 #ifndef MACH_VM_TASK_HH
 #define MACH_VM_TASK_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -49,7 +50,10 @@ class Task
     std::uint32_t thread_count = 0;
 
   private:
-    static std::uint64_t next_id_;
+    // Atomic: tasks in concurrently farmed machines allocate from
+    // one counter. IDs are identity-only (never ordered over), so
+    // cross-machine interleaving cannot change behavior.
+    static std::atomic<std::uint64_t> next_id_;
 
     Kernel *kernel_;
     std::uint64_t id_;

@@ -5,14 +5,14 @@
 namespace mach::vm
 {
 
-std::uint64_t VmObject::next_id_ = 1;
+std::atomic<std::uint64_t> VmObject::next_id_{1};
 
 ObjectPtr
 VmObject::create(hw::PhysMem *mem, std::uint32_t size_pages)
 {
     auto object = ObjectPtr(new VmObject());
     object->mem_ = mem;
-    object->id_ = next_id_++;
+    object->id_ = next_id_.fetch_add(1, std::memory_order_relaxed);
     object->size_pages_ = size_pages;
     return object;
 }

@@ -12,6 +12,7 @@
 #ifndef MACH_VM_VM_OBJECT_HH
 #define MACH_VM_VM_OBJECT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -104,7 +105,10 @@ class VmObject
   private:
     VmObject() = default;
 
-    static std::uint64_t next_id_;
+    // Atomic: see Task::next_id_ -- shared across farmed machines,
+    // identity-only (the pager keys on it but never iterates in id
+    // order).
+    static std::atomic<std::uint64_t> next_id_;
 
     hw::PhysMem *mem_ = nullptr;
     std::uint64_t id_ = 0;

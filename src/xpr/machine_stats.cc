@@ -1,10 +1,13 @@
 #include "xpr/machine_stats.hh"
 
 #include <cstdio>
+#include <sstream>
 
 #include "base/logging.hh"
+#include "hw/tlb.hh"
 #include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
+#include "xpr/xpr.hh"
 
 namespace mach::xpr
 {
@@ -146,6 +149,66 @@ MachineStats::report() const
                   static_cast<unsigned long long>(delayed_waits));
     out += buf;
     return out;
+}
+
+namespace
+{
+
+/** FNV-1a, fixed offsets/primes: stable across platforms/stdlibs. */
+std::uint64_t
+fnv1a(std::uint64_t hash, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1aU64(std::uint64_t hash, std::uint64_t value)
+{
+    return fnv1a(hash, &value, sizeof(value));
+}
+
+} // namespace
+
+std::uint64_t
+runDigest(vm::Kernel &kernel)
+{
+    // Keep in lockstep with tests/determinism_test.cc's runDigest:
+    // the golden digests there pin this exact formula.
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    std::ostringstream print;
+    for (const Event &event : kernel.machine().xpr().events()) {
+        print << static_cast<int>(event.kind) << ':' << event.cpu
+              << ':' << event.timestamp << ':' << event.kernel_pmap
+              << ':' << event.pages << ':' << event.procs << ':'
+              << event.elapsed << '\n';
+    }
+    const std::string text = print.str();
+    hash = fnv1a(hash, text.data(), text.size());
+    hash = fnv1aU64(hash, kernel.machine().now());
+    for (CpuId id = 0; id < kernel.machine().ncpus(); ++id) {
+        const hw::Tlb &tlb = kernel.machine().cpu(id).tlb();
+        hash = fnv1aU64(hash, tlb.hits);
+        hash = fnv1aU64(hash, tlb.misses);
+        hash = fnv1aU64(hash, tlb.writebacks);
+        hash = fnv1aU64(hash, tlb.flushes);
+        hash = fnv1aU64(hash, tlb.single_invalidates);
+        hash = fnv1aU64(hash, tlb.full_flushes);
+        hash = fnv1aU64(hash, tlb.validCount());
+    }
+    const pmap::ShootdownController &shoot = kernel.pmaps().shoot();
+    hash = fnv1aU64(hash, shoot.initiated);
+    hash = fnv1aU64(hash, shoot.delayed_waits);
+    hash = fnv1aU64(hash, shoot.interrupts_sent);
+    hash = fnv1aU64(hash, shoot.responder_passes);
+    hash = fnv1aU64(hash, shoot.idle_drains);
+    hash = fnv1aU64(hash, shoot.queue_overflows);
+    hash = fnv1aU64(hash, shoot.remote_invalidates);
+    return hash;
 }
 
 } // namespace mach::xpr

@@ -82,6 +82,17 @@ struct MachineStats
     std::string report() const;
 };
 
+/**
+ * FNV-1a digest over a finished run's observable order contract: the
+ * xpr event stream, the final clock, every CPU's TLB counters, and
+ * the shootdown controller's counters. Equal digests mean equal runs
+ * bit-for-bit; `machsim --repeat` prints one per seed and the farm
+ * tests compare them across jobs/snapshot modes. The formula matches
+ * tests/determinism_test.cc's local copy, which pins golden values --
+ * change neither without the other.
+ */
+std::uint64_t runDigest(vm::Kernel &kernel);
+
 } // namespace mach::xpr
 
 #endif // MACH_XPR_MACHINE_STATS_HH

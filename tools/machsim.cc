@@ -28,7 +28,9 @@
 #include "apps/mach_build.hh"
 #include "apps/parthenon.hh"
 #include "base/perturb.hh"
+#include "base/stats.hh"
 #include "base/trace.hh"
+#include "farm/farm.hh"
 #include "chk/explorer.hh"
 #include "chk/oracle.hh"
 #include "chk/scenario.hh"
@@ -47,10 +49,17 @@ struct Options
     unsigned ncpus = 16;
     unsigned pools = 1;
     unsigned children = 8;     // tester
-    unsigned jobs = 48;        // mach-build
+    unsigned build_jobs = 48;  // mach-build
     unsigned transactions = 200; // camelot
     unsigned runs = 5;         // parthenon / agora
     std::uint64_t seed = 0x4d616368u;
+    /** Run farm width (--jobs). 0 = MACH_FARM_JOBS or serial. */
+    unsigned farm_jobs = 0;
+    /** Batch mode: run the workload under this many seeds. */
+    unsigned repeat = 0;
+    /** First seed of a --repeat batch (defaults to --seed). */
+    std::uint64_t seed_base = 0;
+    bool seed_base_set = false;
     bool lazy = true;
     bool shootdown = true;
     bool high_priority_ipi = false;
@@ -82,9 +91,18 @@ usage()
         "  --pools N           Section 8 kernel pools (default 1)\n"
         "  --seed N            deterministic seed\n"
         "  --children N        tester child threads (default 8)\n"
-        "  --jobs N            mach-build compile jobs (default 48)\n"
+        "  --build-jobs N      mach-build compile jobs (default 48)\n"
         "  --transactions N    camelot transactions (default 200)\n"
         "  --runs N            parthenon/agora successive runs\n"
+        "  --jobs N            run-farm width: concurrent simulations\n"
+        "                      for --repeat batches (default\n"
+        "                      MACH_FARM_JOBS or 1)\n"
+        "  --repeat K          run the workload K times with seeds\n"
+        "                      seed-base, seed-base+1, ... and print\n"
+        "                      one summary table (per-seed digest +\n"
+        "                      aggregate stats)\n"
+        "  --seed-base N       first seed of a --repeat batch\n"
+        "                      (default --seed)\n"
         "  --lazy on|off       lazy evaluation (Table 1 toggle)\n"
         "  --no-shootdown      disable the algorithm (negative test)\n"
         "  --strategy S        shootdown | delayed-flush (Section 3)\n"
@@ -130,8 +148,17 @@ parse(int argc, char **argv, Options *opt)
             opt->seed = strtoull(need_value(i), nullptr, 0);
         } else if (flag == "--children") {
             opt->children = static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--build-jobs") {
+            opt->build_jobs =
+                static_cast<unsigned>(atoi(need_value(i)));
         } else if (flag == "--jobs") {
-            opt->jobs = static_cast<unsigned>(atoi(need_value(i)));
+            opt->farm_jobs =
+                static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--repeat") {
+            opt->repeat = static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--seed-base") {
+            opt->seed_base = strtoull(need_value(i), nullptr, 0);
+            opt->seed_base_set = true;
         } else if (flag == "--transactions") {
             opt->transactions =
                 static_cast<unsigned>(atoi(need_value(i)));
@@ -202,6 +229,139 @@ toConfig(const Options &opt)
     return config;
 }
 
+farm::FarmOptions
+farmOptions(const Options &opt)
+{
+    farm::FarmOptions farm = farm::FarmOptions::fromEnv(1);
+    if (opt.farm_jobs != 0)
+        farm.jobs = opt.farm_jobs;
+    return farm;
+}
+
+/** Build the workload selected by --app. Fills @p tester when the
+ *  app is the consistency tester (it has its own verdict). */
+std::unique_ptr<apps::Workload>
+makeApp(const Options &opt, apps::ConsistencyTester **tester)
+{
+    if (tester != nullptr)
+        *tester = nullptr;
+    if (opt.app == "tester") {
+        auto owned = std::make_unique<apps::ConsistencyTester>(
+            apps::ConsistencyTester::Params{.children = opt.children,
+                                            .warmup = 30 * kMsec});
+        if (tester != nullptr)
+            *tester = owned.get();
+        return owned;
+    }
+    if (opt.app == "mach-build")
+        return std::make_unique<apps::MachBuild>(
+            apps::MachBuild::Params{.jobs = opt.build_jobs});
+    if (opt.app == "parthenon") {
+        apps::Parthenon::Params params;
+        params.runs = opt.runs;
+        return std::make_unique<apps::Parthenon>(params);
+    }
+    if (opt.app == "agora") {
+        apps::Agora::Params params;
+        params.runs = opt.runs;
+        return std::make_unique<apps::Agora>(params);
+    }
+    if (opt.app == "camelot")
+        return std::make_unique<apps::Camelot>(
+            apps::Camelot::Params{.transactions = opt.transactions});
+    fatal("unknown --app '%s' (try --help)", opt.app.c_str());
+    return nullptr;
+}
+
+/**
+ * --repeat K: fan the workload across K seeds on the run farm and
+ * print one summary table -- the quick way to judge whether a result
+ * (or a suspected nondeterminism) is seed-local, without K serial
+ * process launches. Each seed is a fully isolated machine; the
+ * per-seed digests are the same values `machsim --seed N` would
+ * produce one at a time, independent of --jobs.
+ */
+int
+runBatch(const Options &opt, const SchedulePerturber &perturber)
+{
+    struct Row
+    {
+        std::uint64_t seed = 0;
+        Tick runtime = 0;
+        std::uint64_t shootdowns = 0;
+        std::uint64_t ipis = 0;
+        std::uint64_t digest = 0;
+        bool ok = false;
+    };
+
+    const std::uint64_t base =
+        opt.seed_base_set ? opt.seed_base : opt.seed;
+    const farm::FarmOptions farm = farmOptions(opt);
+    std::vector<Row> rows(opt.repeat);
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(opt.repeat);
+    for (unsigned k = 0; k < opt.repeat; ++k) {
+        jobs.push_back([&opt, &perturber, &rows, base, k] {
+            Options one = opt;
+            one.seed = base + k;
+            vm::Kernel kernel(toConfig(one));
+            kernel.machine().setPerturber(&perturber);
+            apps::ConsistencyTester *tester = nullptr;
+            std::unique_ptr<apps::Workload> app =
+                makeApp(one, &tester);
+            const apps::WorkloadResult result = app->execute(kernel);
+            kernel.machine().setPerturber(nullptr);
+
+            Row &row = rows[k];
+            row.seed = one.seed;
+            row.runtime = result.virtual_runtime;
+            const pmap::ShootdownController &shoot =
+                kernel.pmaps().shoot();
+            row.shootdowns = shoot.initiated;
+            row.ipis = shoot.interrupts_sent;
+            row.digest = xpr::runDigest(kernel);
+            row.ok = tester != nullptr
+                         ? tester->consistent() == one.shootdown
+                         : kernel.pmaps().auditTlbConsistency().empty();
+        });
+    }
+
+    std::printf("machsim: %s x %u seeds [0x%llx..0x%llx], farm "
+                "--jobs %u\n\n",
+                opt.app.c_str(), opt.repeat,
+                static_cast<unsigned long long>(base),
+                static_cast<unsigned long long>(base + opt.repeat - 1),
+                farm.jobs);
+    farm::runMany(std::move(jobs), farm.jobs);
+
+    std::printf("%-12s %12s %12s %8s  %-18s %s\n", "seed",
+                "runtime(s)", "shootdowns", "ipis", "digest",
+                "verdict");
+    Sample runtime;
+    Sample shootdowns;
+    bool all_ok = true;
+    for (const Row &row : rows) {
+        runtime.add(static_cast<double>(row.runtime) / kSec);
+        shootdowns.add(static_cast<double>(row.shootdowns));
+        all_ok = all_ok && row.ok;
+        std::printf("0x%-10llx %12.3f %12llu %8llu  0x%016llx %s\n",
+                    static_cast<unsigned long long>(row.seed),
+                    static_cast<double>(row.runtime) / kSec,
+                    static_cast<unsigned long long>(row.shootdowns),
+                    static_cast<unsigned long long>(row.ipis),
+                    static_cast<unsigned long long>(row.digest),
+                    row.ok ? "ok" : "FAIL");
+    }
+    std::printf("\n%u seed(s): runtime %s s (min %.3f, max %.3f), "
+                "shootdowns %s\n",
+                opt.repeat, runtime.meanStd(3).c_str(),
+                runtime.min(), runtime.max(),
+                shootdowns.meanStd(1).c_str());
+    std::printf("verdict: %s\n",
+                all_ok ? "all consistent" : "FAILURES (see table)");
+    return all_ok ? 0 : 1;
+}
+
 /**
  * --app chk: replay a perturbation schedule against a checker
  * scenario (or its unperturbed baseline) with the oracle attached.
@@ -232,7 +392,7 @@ runCheckerScenario(const Options &opt,
 
     std::printf("machsim: chk scenario %s, schedule \"%s\"\n",
                 scenario->name.c_str(), perturber.format().c_str());
-    chk::Explorer explorer;
+    chk::Explorer explorer(nullptr, farmOptions(opt));
     const chk::TrialResult r =
         explorer.runTrial(*scenario, perturber);
     std::printf("completed: %s\npredicate: %s\nviolations: %llu\n",
@@ -268,6 +428,8 @@ main(int argc, char **argv)
 
     if (opt.app == "chk")
         return runCheckerScenario(opt, perturber);
+    if (opt.repeat != 0)
+        return runBatch(opt, perturber);
 
     vm::Kernel kernel(toConfig(opt));
     kernel.machine().setPerturber(&perturber);
@@ -275,31 +437,8 @@ main(int argc, char **argv)
     if (opt.oracle)
         oracle = std::make_unique<chk::Oracle>(kernel);
 
-    std::unique_ptr<apps::Workload> app;
     apps::ConsistencyTester *tester = nullptr;
-    if (opt.app == "tester") {
-        auto owned = std::make_unique<apps::ConsistencyTester>(
-            apps::ConsistencyTester::Params{.children = opt.children,
-                                            .warmup = 30 * kMsec});
-        tester = owned.get();
-        app = std::move(owned);
-    } else if (opt.app == "mach-build") {
-        app = std::make_unique<apps::MachBuild>(
-            apps::MachBuild::Params{.jobs = opt.jobs});
-    } else if (opt.app == "parthenon") {
-        apps::Parthenon::Params params;
-        params.runs = opt.runs;
-        app = std::make_unique<apps::Parthenon>(params);
-    } else if (opt.app == "agora") {
-        apps::Agora::Params params;
-        params.runs = opt.runs;
-        app = std::make_unique<apps::Agora>(params);
-    } else if (opt.app == "camelot") {
-        app = std::make_unique<apps::Camelot>(
-            apps::Camelot::Params{.transactions = opt.transactions});
-    } else {
-        fatal("unknown --app '%s' (try --help)", opt.app.c_str());
-    }
+    std::unique_ptr<apps::Workload> app = makeApp(opt, &tester);
 
     std::printf("machsim: %s on %u CPUs (seed 0x%llx)\n",
                 opt.app.c_str(), opt.ncpus,
