@@ -28,9 +28,8 @@ Workload::execute(vm::Kernel &kernel)
         result.lazy_avoided += task->pmap().shootdowns_avoided_lazy;
     result.lazy_avoided +=
         kernel.pmaps().kernelPmap().shootdowns_avoided_lazy;
-    if (machine.xpr().overflowed())
-        warn("%s: xpr buffer overflowed; counts are truncated",
-             name().c_str());
+    // analyze() above already warned if the xpr buffer overflowed; the
+    // flag travels on result.analysis.overflowed for the driver.
     return result;
 }
 

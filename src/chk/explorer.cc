@@ -6,6 +6,7 @@
 
 #include "base/rng.hh"
 #include "chk/oracle.hh"
+#include "obs/recorder.hh"
 #include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
 
@@ -207,6 +208,9 @@ decodeTrial(const std::string &s, TrialResult *out)
 /** Slack between the park watermark and the earliest perturbed index:
  *  one event body may insert many events or issue many bus accesses
  *  before runGuarded re-checks, so park comfortably early. */
+/** Flight-recorder ring depth for the minimized-reproducer replay. */
+constexpr std::size_t kFlightRingCapacity = 16384;
+
 constexpr std::uint64_t kSnapshotMargin = 512;
 /** Below this many shared prefix events the skipped work does not
  *  cover the per-probe fork/pipe overhead: run the batch normally. */
@@ -310,6 +314,26 @@ Explorer::runTrial(const Scenario &scenario,
     const std::uint64_t fired = harness.kernel.machine().run(
         perturbedBound(scenario, perturber));
     return harness.finish(fired);
+}
+
+TrialResult
+Explorer::runTrialRecorded(const Scenario &scenario,
+                           const SchedulePerturber &perturber,
+                           std::string *trace_json,
+                           std::size_t ring_capacity) const
+{
+    TrialHarness harness(scenario, &perturber);
+    obs::Recorder &rec = harness.kernel.machine().recorder();
+    if (ring_capacity != 0)
+        rec.enableRing(ring_capacity);
+    else
+        rec.enable();
+    const std::uint64_t fired = harness.kernel.machine().run(
+        perturbedBound(scenario, perturber));
+    TrialResult out = harness.finish(fired);
+    if (trace_json != nullptr)
+        *trace_json = rec.toJson();
+    return out;
 }
 
 std::vector<TrialResult>
@@ -462,7 +486,13 @@ Explorer::explore(const Scenario &scenario, const ExploreOptions &opt)
         res.minimized = minimize(scenario, res.first_failing,
                                  opt.minimize_budget);
         res.minimized_schedule = res.minimized.format();
-        res.minimized_result = runTrial(scenario, res.minimized);
+        // Replay the reproducer once more with the flight recorder on:
+        // recording is cost-free in simulated time, so this is the
+        // same trial (same digest) plus an openable timeline of the
+        // failure's final stretch.
+        res.minimized_result = runTrialRecorded(
+            scenario, res.minimized, &res.flight_trace_json,
+            kFlightRingCapacity);
         char line[128];
         std::snprintf(line, sizeof(line),
                       "minimized to %u directive(s): ",

@@ -118,6 +118,12 @@ struct ExploreResult
     SchedulePerturber minimized;
     std::string minimized_schedule;
     TrialResult minimized_result;
+    /**
+     * Flight-recorder timeline of the minimized reproducer's replay
+     * (Chrome Trace Event JSON), captured so every found failure ships
+     * with an openable timeline; empty when nothing failed.
+     */
+    std::string flight_trace_json;
 
     bool
     foundFailure() const
@@ -147,6 +153,20 @@ class Explorer
      */
     TrialResult runTrial(const Scenario &scenario,
                          const SchedulePerturber &perturber) const;
+
+    /**
+     * runTrial() with the machine's timeline recorder enabled; the
+     * run's Chrome Trace Event JSON lands in @p trace_json (when
+     * non-null). @p ring_capacity 0 records everything; otherwise only
+     * the most recent events survive (flight-recorder mode). The
+     * TrialResult -- digest included -- is identical to an unrecorded
+     * runTrial() of the same pair, because recording charges no
+     * simulated time unless the scenario config sets obs_record_cost.
+     */
+    TrialResult runTrialRecorded(const Scenario &scenario,
+                                 const SchedulePerturber &perturber,
+                                 std::string *trace_json,
+                                 std::size_t ring_capacity = 0) const;
 
     /**
      * Run one trial per perturbation in @p probes and return their

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "hw/machine_config.hh"
+#include "obs/recorder.hh"
 #include "pmap/pmap.hh"
 #include "vm/kernel.hh"
 
@@ -51,6 +52,7 @@ void
 Oracle::audit(const char *where)
 {
     ++ops_audited_;
+    const std::uint64_t before = violation_count_;
     for (const std::string &v : kernel_.pmaps().auditTlbConsistency()) {
         ++violation_count_;
         if (violations_.size() < kMaxStored) {
@@ -60,6 +62,12 @@ Oracle::audit(const char *where)
                               kernel_.machine().now()));
             violations_.push_back(head + v);
         }
+    }
+    if (violation_count_ != before) {
+        // Flight-recorder trigger: the first stale translation dumps
+        // the recent-event ring (when machsim armed a dump path), so
+        // the failure ships with its timeline.
+        kernel_.machine().recorder().dumpOnFailure("stale translation");
     }
 }
 

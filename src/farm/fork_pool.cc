@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "base/trace.hh"
+#include "obs/recorder.hh"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define MACH_FARM_HAVE_FORK 1
 #include <cerrno>
@@ -67,6 +70,15 @@ spawnChild(std::size_t i,
     }
     if (pid == 0) {
         close(fds[0]);
+        // Children share the parent's stderr: prefix every trace line
+        // with the child id and flush per line so concurrent children
+        // cannot shear each other's output mid-line. Trace-JSON dumps
+        // get a per-child file suffix for the same reason.
+        char tag[32];
+        std::snprintf(tag, sizeof(tag), "child%zu", i);
+        trace::setLinePrefix("[" + std::string(tag) + "] ");
+        std::setvbuf(stderr, nullptr, _IOLBF, 0);
+        obs::setProcessFileTag(tag);
         std::string payload;
         try {
             payload = fn(i);

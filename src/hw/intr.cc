@@ -7,23 +7,32 @@ namespace mach::hw
 
 InterruptController::InterruptController(const MachineConfig *config,
                                          unsigned ncpus)
-    : config_(config), pending_(ncpus, 0)
+    : config_(config), pending_(ncpus, 0),
+      post_ticks_(std::size_t{ncpus} * kNumIrqs, 0)
 {
 }
 
 bool
-InterruptController::post(CpuId target, Irq irq)
+InterruptController::post(CpuId target, Irq irq, Tick now)
 {
     MACH_ASSERT(target < pending_.size());
     const std::uint8_t bit =
         static_cast<std::uint8_t>(1u << static_cast<unsigned>(irq));
     if (pending_[target] & bit)
-        return false;
+        return false; // Merged; the original post's stamp stands.
     pending_[target] |= bit;
+    post_ticks_[target * kNumIrqs + static_cast<unsigned>(irq)] = now;
     ++posts_;
     if (kick_)
         kick_(target);
     return true;
+}
+
+Tick
+InterruptController::postTick(CpuId cpu, Irq irq) const
+{
+    MACH_ASSERT(cpu < pending_.size());
+    return post_ticks_[cpu * kNumIrqs + static_cast<unsigned>(irq)];
 }
 
 bool

@@ -36,12 +36,21 @@ class InterruptController
 
     /**
      * Raise @p irq on @p target. Returns false (and does nothing more)
-     * if the line was already pending.
+     * if the line was already pending. @p now stamps the post time for
+     * post-to-delivery latency observability; merged posts keep the
+     * earlier stamp (the line has been pending since then).
      */
-    bool post(CpuId target, Irq irq);
+    bool post(CpuId target, Irq irq, Tick now = 0);
 
     /** Is @p irq currently pending on @p cpu? */
     bool pending(CpuId cpu, Irq irq) const;
+
+    /**
+     * Simulated time of the oldest unacknowledged post of @p irq on
+     * @p cpu (0 when the poster did not pass a timestamp). Read by the
+     * delivery loop before clear() to compute post-to-deliver latency.
+     */
+    Tick postTick(CpuId cpu, Irq irq) const;
 
     /** Acknowledge (clear) @p irq on @p cpu. */
     void clear(CpuId cpu, Irq irq);
@@ -61,6 +70,8 @@ class InterruptController
     const MachineConfig *config_;
     /** pending_[cpu] is a bitmask indexed by Irq. */
     std::vector<std::uint8_t> pending_;
+    /** post_ticks_[cpu * kNumIrqs + irq] = time of the oldest post. */
+    std::vector<Tick> post_ticks_;
     KickFn kick_;
     std::uint64_t posts_ = 0;
 };

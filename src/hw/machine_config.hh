@@ -204,6 +204,13 @@ struct MachineConfig
     unsigned xpr_responder_cpus = 5;
     /** Capacity of the circular event buffer. */
     std::size_t xpr_capacity = 1u << 16;
+    /**
+     * Simulated cost charged per timeline-observability span (Section
+     * 6.1's measurement-perturbation knob for the obs::Recorder). Zero
+     * (default) keeps recording invisible to simulated time, so traced
+     * and untraced runs of the same seed produce identical digests.
+     */
+    Tick obs_record_cost = 0;
 
     // ---- Section 9 hardware-support options -------------------------
 

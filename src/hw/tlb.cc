@@ -1,6 +1,7 @@
 #include "hw/tlb.hh"
 
 #include "base/logging.hh"
+#include "obs/recorder.hh"
 
 namespace mach::hw
 {
@@ -306,6 +307,10 @@ Tlb::invalidatePage(SpaceId space, Vpn vpn)
 void
 Tlb::invalidateRange(SpaceId space, Vpn start, Vpn end)
 {
+    if (obs_ != nullptr && obs_->enabled()) {
+        obs_->instant(obs_track_, "tlb.invalidate_range", "tlb",
+                      obs::Arg{"npages", end - start});
+    }
     if (live_count_ == 0)
         return;
     if (static_cast<std::uint64_t>(end) - start >= entries_.size()) {
@@ -328,6 +333,10 @@ Tlb::invalidateRange(SpaceId space, Vpn start, Vpn end)
 void
 Tlb::flushSpace(SpaceId space)
 {
+    if (obs_ != nullptr && obs_->enabled()) {
+        obs_->instant(obs_track_, "tlb.flush_space", "tlb",
+                      obs::Arg{"space", space});
+    }
     ++flushes;
     const auto it = space_index_.find(space);
     if (it == space_index_.end())
@@ -344,6 +353,10 @@ Tlb::flushSpace(SpaceId space)
 void
 Tlb::flushAll()
 {
+    if (obs_ != nullptr && obs_->enabled()) {
+        obs_->instant(obs_track_, "tlb.flush_all", "tlb",
+                      obs::Arg{"live", live_count_});
+    }
     ++flushes;
     ++full_flushes;
     // One generation bump kills every entry; per-space counts are

@@ -50,6 +50,11 @@
 #include "hw/machine_config.hh"
 #include "hw/page_table.hh"
 
+namespace mach::obs
+{
+class Recorder;
+} // namespace mach::obs
+
 namespace mach::hw
 {
 
@@ -132,6 +137,17 @@ class Tlb
     unsigned validCount() const { return live_count_; }
 
     /**
+     * Attach the machine's timeline recorder: flush and invalidate
+     * operations emit instants on @p track when recording is enabled.
+     * The hot lookup/insert path is never instrumented.
+     */
+    void attachObs(obs::Recorder *recorder, std::uint32_t track)
+    {
+        obs_ = recorder;
+        obs_track_ = track;
+    }
+
+    /**
      * Raw entry array (white-box inspection by audits and tests). The
      * valid bits are reconciled against the generation tags first, so
      * the returned view reads exactly as if flushes cleared eagerly.
@@ -208,6 +224,10 @@ class Tlb
 
     /** Per-set round-robin victim cursors (set-associative mode). */
     std::vector<std::uint32_t> set_victims_;
+
+    /** Timeline recorder (null until attachObs; see attachObs). */
+    obs::Recorder *obs_ = nullptr;
+    std::uint32_t obs_track_ = 0;
 };
 
 } // namespace mach::hw

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "kern/machine.hh"
+#include "obs/recorder.hh"
 
 namespace mach::kern
 {
@@ -10,6 +11,16 @@ namespace
 {
 /** Idle nap length; idle CPUs are woken by kicks and enqueues. */
 constexpr Tick kIdleNap = 10 * kSec;
+
+const char *
+irqSpanName(hw::Irq irq)
+{
+    switch (irq) {
+      case hw::Irq::Shootdown: return "irq.shootdown";
+      case hw::Irq::Timer: return "irq.timer";
+      default: return "irq.device";
+    }
+}
 } // namespace
 
 Cpu::Cpu(Machine *machine, CpuId id)
@@ -37,6 +48,21 @@ Cpu::pollInterrupts()
         if (irq_index < 0)
             return;
         const auto irq = static_cast<hw::Irq>(irq_index);
+        obs::Recorder &rec = machine_->recorder();
+        if (rec.enabled()) {
+            // Post-to-deliver latency: how long the line sat pending
+            // (spl masking, sleeping target, dispatch backlog).
+            const Tick posted = machine_->intr().postTick(id_, irq);
+            const Tick latency =
+                posted != 0 ? machine_->now() - posted : 0;
+            rec.begin(rec.cpuTrack(id_), irqSpanName(irq), "irq",
+                      obs::Arg{"post_to_deliver_ns", latency});
+            rec.metrics()
+                .histogram("irq.post_to_deliver_us")
+                .record(latency / kUsec);
+            if (machine_->cfg().obs_record_cost > 0)
+                advanceNoPoll(machine_->cfg().obs_record_cost);
+        }
         machine_->intr().clear(id_, irq);
         ++interrupts_taken;
 
@@ -61,6 +87,8 @@ Cpu::pollInterrupts()
         machine_->dispatchIrq(irq, *this);
 
         advanceNoPoll(machine_->cfg().intr_return_cost);
+        if (rec.enabled())
+            rec.end(rec.cpuTrack(id_), irqSpanName(irq));
         spl_ = saved;
     }
 }

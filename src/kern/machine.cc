@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "kern/sched.hh"
+#include "obs/recorder.hh"
 #include "xpr/xpr.hh"
 
 namespace mach::kern
@@ -28,6 +29,14 @@ Machine::Machine(const hw::MachineConfig &config)
 
     xpr_ = std::make_unique<xpr::Buffer>(config_.xpr_capacity);
     xpr_->setEnabled(config_.xpr_enabled);
+
+    recorder_ =
+        std::make_unique<obs::Recorder>([this] { return ctx_.now(); });
+    recorder_->setCpuTracks(config_.ncpus);
+    for (CpuId id = 0; id < config_.ncpus; ++id) {
+        cpus_[id]->tlb().attachObs(recorder_.get(),
+                                   recorder_->cpuTrack(id));
+    }
 
     sched_ = std::make_unique<Sched>(this);
 
@@ -150,7 +159,7 @@ Machine::timerTick(CpuId id)
     Cpu &target = cpu(id);
     // Tickless idle: parked processors take no scheduler interrupts.
     if (!target.idle)
-        intr_->post(id, hw::Irq::Timer);
+        intr_->post(id, hw::Irq::Timer, now());
     ctx_.scheduleCall(now() + config_.timer_period,
                       [this, id] { timerTick(id); });
 }

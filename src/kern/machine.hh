@@ -37,6 +37,11 @@ namespace mach::xpr
 class Buffer;
 } // namespace mach::xpr
 
+namespace mach::obs
+{
+class Recorder;
+} // namespace mach::obs
+
 namespace mach::kern
 {
 
@@ -62,6 +67,13 @@ class Machine
     Sched &sched() { return *sched_; }
     Rng &rng() { return rng_; }
     xpr::Buffer &xpr() { return *xpr_; }
+
+    /**
+     * The timeline recorder (always constructed, off by default --
+     * instrumentation sites test recorder().enabled() first).
+     */
+    obs::Recorder &recorder() { return *recorder_; }
+    const obs::Recorder &recorder() const { return *recorder_; }
 
     unsigned ncpus() const { return static_cast<unsigned>(cpus_.size()); }
     Cpu &cpu(CpuId id);
@@ -190,6 +202,7 @@ class Machine
     std::vector<std::unique_ptr<Cpu>> cpus_;
     std::unique_ptr<Sched> sched_;
     std::unique_ptr<xpr::Buffer> xpr_;
+    std::unique_ptr<obs::Recorder> recorder_;
     std::array<IrqHandler, hw::kNumIrqs> irq_handlers_{};
     FaultHandler fault_handler_;
     SpaceSwitchHook space_switch_;

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "kern/machine.hh"
+#include "obs/recorder.hh"
 
 namespace mach::kern
 {
@@ -134,6 +135,12 @@ Sched::dispatchNext(Cpu &cpu)
         return;
     }
 
+    obs::Recorder &rec = machine_->recorder();
+    if (rec.enabled()) {
+        // Thread names are owned by the scheduler and outlive the run.
+        rec.instant(rec.cpuTrack(cpu.id()), "sched.dispatch", "sched",
+                    {}, {}, next->name().c_str());
+    }
     machine_->switchSpace(cpu, *prev, *next);
     cpu.cur_thread = next;
     next->cpu_ = &cpu;
@@ -218,6 +225,9 @@ Sched::idleLoop(Thread &self)
         // interrupts (initiators skip idle processors, Section 4).
         cpu.idle = true;
         cpu.active = false;
+        obs::Recorder &rec = machine_->recorder();
+        if (rec.enabled())
+            rec.begin(rec.cpuTrack(cpu.id()), "idle", "sched");
         if (machine_->cfg().consistency_strategy ==
             hw::ConsistencyStrategy::DelayedFlush) {
             // Under technique 2 idle processors take no timer ticks,
@@ -236,6 +246,8 @@ Sched::idleLoop(Thread &self)
         // becoming active -- the idle-processor rule of Section 4.
         if (idle_exit_)
             idle_exit_(cpu);
+        if (rec.enabled())
+            rec.end(rec.cpuTrack(cpu.id()), "idle");
         cpu.idle = false;
         cpu.active = true;
 

@@ -66,6 +66,13 @@ class Thread
     /** True when this is a CPU's idle thread. */
     bool isIdle() const { return is_idle_; }
 
+    /**
+     * Lazily-created obs::Recorder track for spans that follow this
+     * thread across CPU migrations (VM faults sleep on pageins and may
+     * resume elsewhere). ~0u (obs::kNoTrack) until first used.
+     */
+    std::uint32_t obs_track_id = ~std::uint32_t{0};
+
     // ---- Callable from within the thread body ------------------------
 
     /**

@@ -1,0 +1,108 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+
+namespace mach::obs
+{
+
+namespace
+{
+
+/** Bucket index: 0 for value 0, else 1 + floor(log2(value)). */
+unsigned
+bucketIndex(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    unsigned idx = 0;
+    while (value != 0) {
+        value >>= 1;
+        ++idx;
+    }
+    return idx < Histogram::kBuckets ? idx : Histogram::kBuckets - 1;
+}
+
+/** Inclusive upper bound of a bucket: 0, 1, 3, 7, ... */
+std::uint64_t
+bucketUpper(unsigned idx)
+{
+    if (idx == 0)
+        return 0;
+    if (idx >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << idx) - 1;
+}
+
+} // namespace
+
+void
+Histogram::record(std::uint64_t value)
+{
+    ++buckets_[bucketIndex(value)];
+    ++count_;
+    sum_ += value;
+    if (value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+}
+
+std::uint64_t
+Histogram::percentile(unsigned percent) const
+{
+    if (count_ == 0)
+        return 0;
+    if (percent > 100)
+        percent = 100;
+    // Rank of the target sample, 1-based, rounding up.
+    const std::uint64_t rank = (count_ * percent + 99) / 100;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            // Clamp the bucket approximation to the observed extremes.
+            std::uint64_t upper = bucketUpper(i);
+            if (upper > max_)
+                upper = max_;
+            if (upper < min())
+                upper = min();
+            return upper;
+        }
+    }
+    return max_;
+}
+
+Histogram &
+Metrics::histogram(const std::string &name)
+{
+    for (auto &entry : entries_) {
+        if (entry.first == name)
+            return *entry.second;
+    }
+    entries_.emplace_back(name, std::make_unique<Histogram>());
+    return *entries_.back().second;
+}
+
+std::string
+Metrics::report() const
+{
+    std::string out;
+    char line[256];
+    for (const auto &entry : entries_) {
+        const Histogram &h = *entry.second;
+        std::snprintf(line, sizeof(line),
+                      "%-28s n=%-8llu mean=%-8llu p50=%-8llu p90=%-8llu "
+                      "p99=%-8llu max=%llu\n",
+                      entry.first.c_str(),
+                      static_cast<unsigned long long>(h.count()),
+                      static_cast<unsigned long long>(h.mean()),
+                      static_cast<unsigned long long>(h.percentile(50)),
+                      static_cast<unsigned long long>(h.percentile(90)),
+                      static_cast<unsigned long long>(h.percentile(99)),
+                      static_cast<unsigned long long>(h.max()));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace mach::obs

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Log-bucketed latency histograms and a named-metric registry.
+ *
+ * The histograms are HDR-style: values land in power-of-two buckets,
+ * so a 64-bucket array covers the full uint64 range with bounded
+ * relative error, constant-time recording, and no allocation after
+ * construction. Good enough to reproduce the paper's Tables 1-4 style
+ * percentile rows without keeping every sample.
+ */
+
+#ifndef MACH_OBS_METRICS_HH
+#define MACH_OBS_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mach::obs
+{
+
+/** Power-of-two-bucketed histogram of unsigned values. */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 64;
+
+    void record(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    std::uint64_t mean() const { return count_ ? sum_ / count_ : 0; }
+
+    /**
+     * Value at or below which at least @p percent percent of samples
+     * fall, reported as the upper bound of the containing bucket (the
+     * usual log-bucket approximation). Integer math only.
+     */
+    std::uint64_t percentile(unsigned percent) const;
+
+    const std::array<std::uint64_t, kBuckets> &buckets() const
+    {
+        return buckets_;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Named histograms, created on first use, iterated in creation order
+ * (deterministic given deterministic call order).
+ */
+class Metrics
+{
+  public:
+    Histogram &histogram(const std::string &name);
+
+    bool empty() const { return entries_.empty(); }
+
+    /**
+     * Human-readable table: one "name: n=... mean=... p50/p90/p99 max"
+     * line per histogram, in creation order. Values are microseconds
+     * by convention of the recording sites.
+     */
+    std::string report() const;
+
+    const std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    // unique_ptr keeps Histogram& references stable across growth.
+    std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> entries_;
+};
+
+} // namespace mach::obs
+
+#endif // MACH_OBS_METRICS_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Periodic counter sampling into the timeline recorder.
+ *
+ * The Sampler schedules itself on the machine's event queue every
+ * `interval` ticks and emits counter-track samples: per-CPU TLB hit
+ * ratio, shootdown queue depth, idle/active state, plus machine-wide
+ * bus accesses, live event-queue size, and free page frames. The
+ * samples become 'C' events in the same trace file as the spans, so
+ * Perfetto draws them as line charts above the timeline.
+ *
+ * Scheduling the sampler inserts events into the EventQueue and thus
+ * shifts the `e<seq>` index space that perturbation schedules address
+ * -- so sampling is opt-in (machsim --stats-interval) and is never
+ * attached to checker trials that replay recorded schedules.
+ */
+
+#ifndef MACH_OBS_SAMPLER_HH
+#define MACH_OBS_SAMPLER_HH
+
+#include <deque>
+#include <string>
+
+#include "base/types.hh"
+#include "sim/event_queue.hh"
+
+namespace mach::vm
+{
+class Kernel;
+} // namespace mach::vm
+
+namespace mach::obs
+{
+
+class Recorder;
+
+/** Self-rescheduling periodic counter sampler. */
+class Sampler
+{
+  public:
+    /**
+     * Start sampling @p kernel's machine into its recorder every
+     * @p interval ticks (first sample after one interval). The kernel
+     * must outlive the sampler; the recorder must be enabled.
+     */
+    Sampler(vm::Kernel &kernel, Tick interval);
+    ~Sampler();
+
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /**
+     * Cancel the pending sample event. Required before machine.run()
+     * can drain its queue at end of run (the workload apps stop the
+     * machine explicitly, so in practice the run ends first and stop()
+     * just cleans up the last pending event).
+     */
+    void stop();
+
+    std::uint64_t samplesTaken() const { return samples_; }
+
+  private:
+    void schedule();
+    void sample();
+
+    /**
+     * Intern "cpuN.<suffix>" counter names: counter events keep a
+     * `const char *`, so the strings live here (a deque never moves
+     * them) and the Sampler must outlive the recorder's export.
+     */
+    const char *cpuCounterName(const char *suffix, CpuId id);
+
+    std::deque<std::string> names_;
+    vm::Kernel &kernel_;
+    Tick interval_;
+    std::uint64_t samples_ = 0;
+    bool stopped_ = false;
+    sim::EventId pending_{};
+    bool pending_valid_ = false;
+};
+
+} // namespace mach::obs
+
+#endif // MACH_OBS_SAMPLER_HH

@@ -6,6 +6,7 @@
 #include "kern/cpu.hh"
 #include "kern/machine.hh"
 #include "kern/sched.hh"
+#include "obs/recorder.hh"
 #include "pmap/pmap.hh"
 #include "xpr/xpr.hh"
 
@@ -86,6 +87,11 @@ ShootdownController::queueAction(kern::Cpu &self, CpuId target,
         // whole buffer anyway (Section 4, omitted detail 2).
         st.overflow = true;
         ++queue_overflows;
+        obs::Recorder &rec = machine_.recorder();
+        if (rec.enabled()) {
+            rec.instant(rec.cpuTrack(target), "shoot.queue_overflow",
+                        "shoot", obs::Arg{"by", self.id()});
+        }
     } else {
         st.queue.push_back({&pmap, start, end});
     }
@@ -102,6 +108,15 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
     hw::InterruptController &intr = machine_.intr();
     const Tick t_begin = machine_.now();
     ++initiated;
+
+    obs::Recorder &rec = machine_.recorder();
+    obs::SpanGuard initiate_span(
+        rec, rec.cpuTrack(self.id()), "shoot.initiate", "shoot",
+        "shoot.initiator_us", obs::Arg{"pages", mapped_pages},
+        obs::Arg{"npages", end - start});
+    if (rec.enabled() && cfg.obs_record_cost > 0)
+        self.advanceNoPoll(cfg.obs_record_cost);
+
     self.advanceNoPoll(cfg.shootdown_setup_cost);
 
     // ---- Section 9 option: TLBs supporting remote invalidation ------
@@ -188,35 +203,44 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
                    start, end, sync_list.size(), send_list.size());
 
     if (!sync_list.empty()) {
-        if (cfg.multicast_ipi) {
-            // One bit-vector load triggers every target at fixed cost.
-            self.advanceNoPoll(cfg.multicast_send_cost);
-            for (CpuId id : send_list) {
-                intr.post(id, hw::Irq::Shootdown);
-                ++interrupts_sent;
-            }
-        } else if (cfg.broadcast_ipi) {
-            // Interrupt everyone (including innocent bystanders, who
-            // pay a dispatch with nothing queued) at fixed cost.
-            self.advanceNoPoll(cfg.broadcast_send_cost);
-            for (CpuId id = 0; id < machine_.ncpus(); ++id) {
-                if (id == self.id() ||
-                    intr.pending(id, hw::Irq::Shootdown)) {
-                    continue;
+        {
+            obs::SpanGuard ipi_span(rec, rec.cpuTrack(self.id()),
+                                    "shoot.ipi", "shoot", nullptr,
+                                    obs::Arg{"targets",
+                                             send_list.size()});
+            if (cfg.multicast_ipi) {
+                // One bit-vector load triggers every target at fixed
+                // cost.
+                self.advanceNoPoll(cfg.multicast_send_cost);
+                for (CpuId id : send_list) {
+                    intr.post(id, hw::Irq::Shootdown, machine_.now());
+                    ++interrupts_sent;
                 }
-                intr.post(id, hw::Irq::Shootdown);
-                ++interrupts_sent;
-            }
-        } else {
-            // Baseline: iterate down the list one directed IPI at a
-            // time.
-            for (CpuId id : send_list) {
-                Tick send = cfg.ipi_send_cost;
-                if (cfg.ipi_send_jitter > 0)
-                    send += machine_.rng().below(cfg.ipi_send_jitter);
-                self.advanceNoPoll(send);
-                intr.post(id, hw::Irq::Shootdown);
-                ++interrupts_sent;
+            } else if (cfg.broadcast_ipi) {
+                // Interrupt everyone (including innocent bystanders,
+                // who pay a dispatch with nothing queued) at fixed
+                // cost.
+                self.advanceNoPoll(cfg.broadcast_send_cost);
+                for (CpuId id = 0; id < machine_.ncpus(); ++id) {
+                    if (id == self.id() ||
+                        intr.pending(id, hw::Irq::Shootdown)) {
+                        continue;
+                    }
+                    intr.post(id, hw::Irq::Shootdown, machine_.now());
+                    ++interrupts_sent;
+                }
+            } else {
+                // Baseline: iterate down the list one directed IPI at
+                // a time.
+                for (CpuId id : send_list) {
+                    Tick send = cfg.ipi_send_cost;
+                    if (cfg.ipi_send_jitter > 0)
+                        send +=
+                            machine_.rng().below(cfg.ipi_send_jitter);
+                    self.advanceNoPoll(send);
+                    intr.post(id, hw::Irq::Shootdown, machine_.now());
+                    ++interrupts_sent;
+                }
             }
         }
 
@@ -228,6 +252,11 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
         // one quick motion, and the initiator would otherwise miss the
         // transient. Spinning processors are bus users; this is where
         // large shootdowns congest the bus (Figure 2's knee).
+        obs::SpanGuard sync_span(rec, rec.cpuTrack(self.id()),
+                                 "shoot.sync", "shoot",
+                                 "shoot.sync_us",
+                                 obs::Arg{"waiting_on",
+                                          sync_list.size()});
         hw::Bus::User bus_user(machine_.bus());
         for (CpuId id : sync_list) {
             kern::Cpu &target = machine_.cpu(id);
@@ -259,6 +288,11 @@ ShootdownController::drainActions(kern::Cpu &cpu)
 {
     const hw::MachineConfig &cfg = machine_.cfg();
     CpuShootState &st = *state_[cpu.id()];
+
+    obs::SpanGuard drain_span(machine_.recorder(),
+                              machine_.recorder().cpuTrack(cpu.id()),
+                              "shoot.drain", "shoot", nullptr,
+                              obs::Arg{"queued", st.queue.size()});
 
     st.action_lock.rawLock(cpu);
     if (st.overflow) {
@@ -308,6 +342,13 @@ ShootdownController::respond(kern::Cpu &cpu)
     CpuShootState &st = *state_[cpu.id()];
     const bool had_work = st.action_needed;
 
+    obs::Recorder &rec = machine_.recorder();
+    obs::SpanGuard respond_span(
+        rec, rec.cpuTrack(cpu.id()), "shoot.respond", "shoot",
+        "shoot.responder_us", obs::Arg{"had_work", had_work ? 1 : 0});
+    if (rec.enabled() && cfg.obs_record_cost > 0)
+        cpu.advanceNoPoll(cfg.obs_record_cost);
+
     MACH_TRACE_LOG(Shootdown, machine_.now(),
                    "cpu%u responds (action_needed=%d)", cpu.id(),
                    st.action_needed ? 1 : 0);
@@ -324,6 +365,8 @@ ShootdownController::respond(kern::Cpu &cpu)
         cpu.active = false;
         cpu.memAccess(1);
         if (responderMustStall()) {
+            obs::SpanGuard stall_span(rec, rec.cpuTrack(cpu.id()),
+                                      "shoot.stall", "shoot");
             hw::Bus::User bus_user(machine_.bus());
             Pmap *kernel = &sys_.kernelPmap();
             Pmap *user = cpu.cur_pmap;
@@ -362,6 +405,11 @@ ShootdownController::idleExit(kern::Cpu &cpu)
     MACH_TRACE_LOG(Shootdown, machine_.now(),
                    "cpu%u drains queued actions before leaving idle",
                    cpu.id());
+    obs::Recorder &rec = machine_.recorder();
+    if (rec.enabled()) {
+        rec.instant(rec.cpuTrack(cpu.id()), "shoot.idle_drain",
+                    "shoot", obs::Arg{"queued", st.queue.size()});
+    }
 
     const hw::Spl saved = cpu.setSpl(hw::SplHigh);
     while (st.action_needed) {
@@ -414,6 +462,19 @@ ShootdownController::delayedFlushWait(kern::Thread &thread, Pmap &pmap,
         if (all_clean)
             break;
         thread.sleep(1 * kMsec);
+    }
+
+    // An instant, not a span: the waiting thread sleeps and may resume
+    // on a different CPU, which would split a span across tracks.
+    obs::Recorder &rec = machine_.recorder();
+    if (rec.enabled()) {
+        const Tick waited = machine_.now() - t_begin;
+        rec.instant(rec.cpuTrack(thread.cpu().id()),
+                    "shoot.delayed_flush_wait", "shoot",
+                    obs::Arg{"waited_us", waited / kUsec},
+                    obs::Arg{"pages", mapped_pages});
+        rec.metrics().histogram("shoot.delayed_wait_us").record(
+            waited / kUsec);
     }
 
     if (cfg.xpr_enabled) {

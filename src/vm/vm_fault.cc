@@ -12,10 +12,30 @@
 
 #include "base/logging.hh"
 #include "base/trace.hh"
+#include "obs/recorder.hh"
 #include "vm/kernel.hh"
 
 namespace mach::vm
 {
+
+namespace
+{
+
+/**
+ * Track for spans that must follow @p thread across migrations (faults
+ * sleep on pageins and can resume on another CPU): one lazily-created
+ * per-thread track, named after the thread.
+ */
+obs::TrackId
+threadTrack(obs::Recorder &rec, kern::Thread &thread)
+{
+    if (thread.obs_track_id == obs::kNoTrack)
+        thread.obs_track_id =
+            rec.defineTrack("thread:" + thread.name());
+    return thread.obs_track_id;
+}
+
+} // namespace
 
 bool
 Kernel::resolveSpace(kern::Thread &thread, VAddr va, VmMap **map,
@@ -43,6 +63,11 @@ Kernel::handleFault(kern::Thread &thread, VAddr va, Prot want)
         ++faults_failed;
         return false;
     }
+
+    obs::Recorder &rec = machine_->recorder();
+    obs::SpanGuard fault_span(
+        rec, rec.enabled() ? threadTrack(rec, thread) : 0, "vm.fault",
+        "vm", "vm.fault_us", obs::Arg{"va", va});
 
     thread.cpu().advance(machine_->cfg().fault_base_cost);
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "base/logging.hh"
+
 namespace mach::xpr
 {
 
@@ -9,6 +11,12 @@ RunAnalysis
 analyze(const Buffer &buffer)
 {
     RunAnalysis out;
+    out.overflowed = buffer.overflowed();
+    if (out.overflowed) {
+        warn("xpr buffer overflowed (capacity %zu); oldest records "
+             "lost, analysis totals are truncated",
+             buffer.capacity());
+    }
     for (const Event &event : buffer.events()) {
         switch (event.kind) {
           case EventKind::ShootInitiator: {

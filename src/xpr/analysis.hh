@@ -38,9 +38,19 @@ struct RunAnalysis
     ShootdownSummary kernel_initiator;
     ShootdownSummary user_initiator;
     ShootdownSummary responder;
+    /**
+     * The circular buffer wrapped during the run: the oldest records
+     * were lost, so the counts (and any Tables 1-4 style rows built
+     * from them) are truncated and must not be trusted as totals.
+     */
+    bool overflowed = false;
 };
 
-/** Classify and summarize all records in @p buffer. */
+/**
+ * Classify and summarize all records in @p buffer. Warns (once per
+ * call) when the buffer overflowed; callers print the returned
+ * overflowed flag next to any table they emit.
+ */
 RunAnalysis analyze(const Buffer &buffer);
 
 /**

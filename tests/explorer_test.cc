@@ -73,6 +73,12 @@ writeFailureArtifact(const std::string &scenario,
         out << "# " << v << "\n";
     if (!res.first_failure.note.empty())
         out << "# note: " << res.first_failure.note << "\n";
+    // The minimized replay's flight-recorder timeline rides along so
+    // the CI artifact opens in Perfetto, not just in a text editor.
+    if (!res.flight_trace_json.empty()) {
+        std::ofstream trace("chk_failures/" + scenario + ".trace.json");
+        trace << res.flight_trace_json;
+    }
 }
 
 std::vector<std::string>

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Failure-triggered flight recording: when the explorer catches the
+ * planted protocol bug (responders skip the phase-2 stall), the
+ * minimized reproducer's replay must ship with a timeline -- a
+ * Chrome Trace Event JSON capture of the failing run's recent events,
+ * with the responder's ISR span in it -- and recording must not change
+ * what the trial observes (digest included).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/perturb.hh"
+#include "chk/explorer.hh"
+#include "chk/scenario.hh"
+
+namespace
+{
+
+using namespace mach;
+
+TEST(FlightRecorder, RecordedTrialMatchesUnrecordedDigest)
+{
+    // Recording charges no simulated time by default, so a recorded
+    // trial is the same trial: same digest, same end time. This is
+    // what lets the explorer re-run the minimized schedule with the
+    // recorder on and still claim it replayed the failure bit-exactly.
+    const std::vector<chk::Scenario> library = chk::builtinScenarios();
+    const chk::Scenario *storm =
+        chk::findScenario(library, "storm-baseline");
+    ASSERT_NE(storm, nullptr);
+
+    SchedulePerturber p;
+    ASSERT_TRUE(
+        SchedulePerturber::parse("e120+50000,b40+9000", &p, nullptr));
+
+    chk::Explorer explorer;
+    const chk::TrialResult plain = explorer.runTrial(*storm, p);
+    std::string full_json;
+    const chk::TrialResult recorded =
+        explorer.runTrialRecorded(*storm, p, &full_json);
+    EXPECT_EQ(plain.digest, recorded.digest);
+    EXPECT_EQ(plain.end_time, recorded.end_time);
+    EXPECT_EQ(plain.events_fired, recorded.events_fired);
+    EXPECT_NE(full_json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(full_json.find("\"shoot.initiate\""), std::string::npos);
+
+    // Ring mode keeps only the tail but is still a valid capture of
+    // the same run.
+    std::string ring_json;
+    const chk::TrialResult ringed =
+        explorer.runTrialRecorded(*storm, p, &ring_json, 256);
+    EXPECT_EQ(plain.digest, ringed.digest);
+    EXPECT_NE(ring_json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_LT(ring_json.size(), full_json.size());
+}
+
+TEST(FlightRecorder, PlantedBugShipsWithTimeline)
+{
+    const chk::Scenario broken = chk::brokenStallScenario();
+    chk::Explorer explorer;
+    const chk::ExploreResult res = explorer.explore(broken);
+
+    ASSERT_TRUE(res.foundFailure())
+        << "explorer missed the planted protocol bug";
+    ASSERT_GT(res.failures, 0u);
+
+    // The minimized reproducer's replay carries its flight trace.
+    ASSERT_FALSE(res.flight_trace_json.empty());
+    EXPECT_NE(res.flight_trace_json.find("\"traceEvents\""),
+              std::string::npos);
+    // The responder side of the protocol -- where the planted bug
+    // lives -- is visible in the timeline: the shootdown ISR span.
+    EXPECT_NE(res.flight_trace_json.find("\"shoot.respond\""),
+              std::string::npos);
+    EXPECT_NE(res.flight_trace_json.find("\"irq.shootdown\""),
+              std::string::npos);
+    // And the recorded replay still failed (digest-neutral recording).
+    EXPECT_TRUE(res.minimized_result.failed());
+}
+
+} // namespace

@@ -34,6 +34,8 @@
 #include "chk/explorer.hh"
 #include "chk/oracle.hh"
 #include "chk/scenario.hh"
+#include "obs/recorder.hh"
+#include "obs/sampler.hh"
 #include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
 #include "xpr/machine_stats.hh"
@@ -78,7 +80,43 @@ struct Options
     std::string scenario = "storm-baseline";
     /** Attach the stale-translation oracle to the run. */
     bool oracle = false;
+    /** Timeline trace output (Chrome Trace Event JSON). */
+    std::string trace_json;
+    /**
+     * Counter-sampling period in ticks; the sentinel means "auto":
+     * 16 ms when --trace-json is given, otherwise off.
+     */
+    Tick stats_interval = ~Tick{0};
+    /** Simulated cost charged per recorded span (Section 6.1 knob). */
+    Tick obs_cost = 0;
+    /** Flight-recorder dump file, written on failure. */
+    std::string flight_recorder;
+    /** Print the paper-style xpr distribution rows per --repeat seed. */
+    bool xpr_rows = false;
 };
+
+/** Counter-sampling period after resolving the "auto" sentinel. */
+Tick
+statsInterval(const Options &opt)
+{
+    if (opt.stats_interval != ~Tick{0})
+        return opt.stats_interval;
+    return opt.trace_json.empty() ? 0 : 16 * kMsec;
+}
+
+/** Ring depth for --flight-recorder (matches the explorer's). */
+constexpr std::size_t kFlightRingCapacity = 16384;
+
+bool
+writeTextFile(const std::string &path, const std::string &body)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::size_t wrote =
+        std::fwrite(body.data(), 1, body.size(), f);
+    return std::fclose(f) == 0 && wrote == body.size();
+}
 
 void
 usage()
@@ -122,7 +160,27 @@ usage()
         "  --app chk           run a checker scenario instead of a\n"
         "                      workload (oracle always attached)\n"
         "  --scenario NAME     which scenario --app chk runs; 'list'\n"
-        "                      prints the library\n");
+        "                      prints the library\n"
+        "  --trace-json FILE   write the run's timeline (spans,\n"
+        "                      instants, counters) as Chrome Trace\n"
+        "                      Event JSON -- open in Perfetto or\n"
+        "                      chrome://tracing; --repeat batches\n"
+        "                      write FILE.seed0x<seed>.json per seed\n"
+        "  --stats-interval T  counter-sample period in ticks (ns);\n"
+        "                      default 16 ms with --trace-json, else\n"
+        "                      off; 0 disables (see\n"
+        "                      docs/OBSERVABILITY.md on e<seq>\n"
+        "                      schedule indices)\n"
+        "  --obs-cost T        charge T ticks of simulated time per\n"
+        "                      recorded span (Section 6.1-style\n"
+        "                      measurement perturbation; default 0)\n"
+        "  --flight-recorder F keep a bounded ring of recent events\n"
+        "                      and dump it to F when the run fails\n"
+        "                      (oracle violation, failed verdict,\n"
+        "                      failed chk trial)\n"
+        "  --xpr               print the paper-style initiator/\n"
+        "                      responder distribution rows for every\n"
+        "                      seed of a --repeat batch\n");
 }
 
 bool
@@ -197,6 +255,16 @@ parse(int argc, char **argv, Options *opt)
             opt->scenario = need_value(i);
         } else if (flag == "--oracle") {
             opt->oracle = true;
+        } else if (flag == "--trace-json") {
+            opt->trace_json = need_value(i);
+        } else if (flag == "--stats-interval") {
+            opt->stats_interval = strtoull(need_value(i), nullptr, 0);
+        } else if (flag == "--obs-cost") {
+            opt->obs_cost = strtoull(need_value(i), nullptr, 0);
+        } else if (flag == "--flight-recorder") {
+            opt->flight_recorder = need_value(i);
+        } else if (flag == "--xpr") {
+            opt->xpr_rows = true;
         } else {
             fatal("unknown flag '%s' (try --help)", flag.c_str());
         }
@@ -221,6 +289,7 @@ toConfig(const Options &opt)
     config.tlb_remote_invalidate = opt.remote_invalidate;
     config.tlb_asid_tags = opt.asid_tags;
     config.tlb_associativity = opt.tlb_assoc;
+    config.obs_record_cost = opt.obs_cost;
     if (opt.delayed_flush) {
         config.consistency_strategy =
             hw::ConsistencyStrategy::DelayedFlush;
@@ -292,6 +361,7 @@ runBatch(const Options &opt, const SchedulePerturber &perturber)
         std::uint64_t ipis = 0;
         std::uint64_t digest = 0;
         bool ok = false;
+        xpr::RunAnalysis analysis;
     };
 
     const std::uint64_t base =
@@ -309,8 +379,34 @@ runBatch(const Options &opt, const SchedulePerturber &perturber)
             apps::ConsistencyTester *tester = nullptr;
             std::unique_ptr<apps::Workload> app =
                 makeApp(one, &tester);
+
+            // Each seed records its own timeline into its own file,
+            // suffixed by seed so concurrent farm workers (or fork
+            // children, via the process file tag) never collide.
+            obs::Recorder &rec = kernel.machine().recorder();
+            std::unique_ptr<obs::Sampler> sampler;
+            if (!one.trace_json.empty()) {
+                rec.enable();
+                if (statsInterval(one) != 0)
+                    sampler = std::make_unique<obs::Sampler>(
+                        kernel, statsInterval(one));
+            }
+
             const apps::WorkloadResult result = app->execute(kernel);
             kernel.machine().setPerturber(nullptr);
+            if (sampler != nullptr)
+                sampler->stop();
+            if (!one.trace_json.empty()) {
+                char tag[32];
+                std::snprintf(tag, sizeof(tag), "seed0x%llx",
+                              static_cast<unsigned long long>(
+                                  one.seed));
+                const std::string path =
+                    obs::suffixedPath(one.trace_json, tag);
+                if (!rec.writeJsonFile(path))
+                    warn("could not write trace JSON to %s",
+                         path.c_str());
+            }
 
             Row &row = rows[k];
             row.seed = one.seed;
@@ -323,6 +419,7 @@ runBatch(const Options &opt, const SchedulePerturber &perturber)
             row.ok = tester != nullptr
                          ? tester->consistent() == one.shootdown
                          : kernel.pmaps().auditTlbConsistency().empty();
+            row.analysis = result.analysis;
         });
     }
 
@@ -357,6 +454,33 @@ runBatch(const Options &opt, const SchedulePerturber &perturber)
                 opt.repeat, runtime.meanStd(3).c_str(),
                 runtime.min(), runtime.max(),
                 shootdowns.meanStd(1).c_str());
+
+    if (opt.xpr_rows) {
+        // The paper-style Tables 1-4 rows, one block per seed: events,
+        // mean+-std, and the 10th/50th/90th percentiles in usec.
+        for (const Row &row : rows) {
+            const xpr::RunAnalysis &a = row.analysis;
+            std::printf("\nxpr distributions, seed 0x%llx%s\n",
+                        static_cast<unsigned long long>(row.seed),
+                        a.overflowed
+                            ? " (xpr buffer OVERFLOWED; truncated)"
+                            : "");
+            std::printf("%s\n",
+                        xpr::formatRow("kernel", a.kernel_initiator,
+                                       a.kernel_initiator.events < 16)
+                            .c_str());
+            std::printf("%s\n",
+                        xpr::formatRow("user", a.user_initiator,
+                                       a.user_initiator.events < 16)
+                            .c_str());
+            std::printf("%s\n",
+                        xpr::formatRow("responder", a.responder,
+                                       a.responder.events < 16)
+                            .c_str());
+        }
+        std::printf("\n");
+    }
+
     std::printf("verdict: %s\n",
                 all_ok ? "all consistent" : "FAILURES (see table)");
     return all_ok ? 0 : 1;
@@ -393,8 +517,35 @@ runCheckerScenario(const Options &opt,
     std::printf("machsim: chk scenario %s, schedule \"%s\"\n",
                 scenario->name.c_str(), perturber.format().c_str());
     chk::Explorer explorer(nullptr, farmOptions(opt));
+
+    // Recording never perturbs the trial (obs_record_cost stays 0 for
+    // scenarios -- their configs are fixed), so recorded and plain
+    // replays produce the same digest. The counter sampler is never
+    // attached here: it would shift the e<seq> index space the
+    // --schedule directives address.
+    const bool record =
+        !opt.trace_json.empty() || !opt.flight_recorder.empty();
+    std::string trace_json;
     const chk::TrialResult r =
-        explorer.runTrial(*scenario, perturber);
+        record ? explorer.runTrialRecorded(
+                     *scenario, perturber, &trace_json,
+                     opt.trace_json.empty() ? kFlightRingCapacity : 0)
+               : explorer.runTrial(*scenario, perturber);
+    if (!opt.trace_json.empty()) {
+        if (writeTextFile(opt.trace_json, trace_json))
+            std::printf("trace: %s\n", opt.trace_json.c_str());
+        else
+            warn("could not write trace JSON to %s",
+                 opt.trace_json.c_str());
+    }
+    if (!opt.flight_recorder.empty() && r.failed()) {
+        if (writeTextFile(opt.flight_recorder, trace_json))
+            std::printf("flight recorder: %s\n",
+                        opt.flight_recorder.c_str());
+        else
+            warn("could not write flight-recorder trace to %s",
+                 opt.flight_recorder.c_str());
+    }
     std::printf("completed: %s\npredicate: %s\nviolations: %llu\n",
                 r.completed ? "yes" : "NO (liveness)",
                 r.predicate_ok ? "held" : "VIOLATED",
@@ -440,6 +591,24 @@ main(int argc, char **argv)
     apps::ConsistencyTester *tester = nullptr;
     std::unique_ptr<apps::Workload> app = makeApp(opt, &tester);
 
+    // Timeline recording: --trace-json records everything for a full
+    // export; --flight-recorder alone keeps only a bounded ring, armed
+    // to dump on failure (the oracle triggers it the moment a stale
+    // translation is seen; a failed verdict triggers it at exit).
+    obs::Recorder &rec = kernel.machine().recorder();
+    std::unique_ptr<obs::Sampler> sampler;
+    if (!opt.trace_json.empty() || !opt.flight_recorder.empty()) {
+        if (opt.trace_json.empty())
+            rec.enableRing(kFlightRingCapacity);
+        else
+            rec.enable();
+        if (!opt.flight_recorder.empty())
+            rec.setDumpPath(opt.flight_recorder);
+        if (statsInterval(opt) != 0)
+            sampler =
+                std::make_unique<obs::Sampler>(kernel, statsInterval(opt));
+    }
+
     std::printf("machsim: %s on %u CPUs (seed 0x%llx)\n",
                 opt.app.c_str(), opt.ncpus,
                 static_cast<unsigned long long>(opt.seed));
@@ -447,6 +616,8 @@ main(int argc, char **argv)
         std::printf("schedule: %s (%zu directive(s))\n",
                     perturber.format().c_str(), perturber.size());
     const apps::WorkloadResult result = app->execute(kernel);
+    if (sampler != nullptr)
+        sampler->stop();
 
     std::printf("\nvirtual runtime: %.2f s\n",
                 static_cast<double>(result.virtual_runtime) / kSec);
@@ -468,6 +639,24 @@ main(int argc, char **argv)
     std::printf("lazily avoided shootdowns: %llu\n\n",
                 static_cast<unsigned long long>(result.lazy_avoided));
     std::printf("%s", xpr::MachineStats::capture(kernel).report().c_str());
+
+    if (result.analysis.overflowed)
+        std::printf("\nWARNING: xpr buffer overflowed; distribution "
+                    "rows above are truncated\n");
+
+    if (!opt.trace_json.empty()) {
+        if (rec.writeJsonFile(opt.trace_json)) {
+            std::printf("\ntrace: %zu events on %zu tracks -> %s\n",
+                        rec.events().size(), rec.tracks().size(),
+                        opt.trace_json.c_str());
+        } else {
+            warn("could not write trace JSON to %s",
+                 opt.trace_json.c_str());
+        }
+    }
+    if (rec.enabled() && !rec.metrics().empty())
+        std::printf("\nlatency histograms (usec):\n%s",
+                    rec.metrics().report().c_str());
 
     int rc = 0;
     if (tester != nullptr) {
@@ -492,6 +681,13 @@ main(int argc, char **argv)
             std::printf("  %s\n", v.c_str());
         if (!oracle->clean())
             rc = 1;
+    }
+    if (rc != 0 && rec.dumpOnFailure("run failed")) {
+        // The oracle may have dumped earlier (at first violation);
+        // this catches verdict failures that produce no violation.
+        std::printf("flight recorder: %s\n", rec.dumpPath().c_str());
+    } else if (rc != 0 && rec.dumped()) {
+        std::printf("flight recorder: %s\n", rec.dumpPath().c_str());
     }
     return rc;
 }
