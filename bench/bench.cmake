@@ -29,3 +29,4 @@ mach_bench(pool_restructuring)
 mach_bench(ipi_crossover)
 mach_bench(policy_ablations)
 mach_bench(virtual_cache)
+mach_bench(numa_ablations)

@@ -85,7 +85,7 @@ struct TrialHarness
         out.note = state.note;
         out.violations = oracle.violations();
         out.violation_count = oracle.violationCount();
-        out.bus_accesses = kernel.machine().bus().accessCount();
+        out.bus_accesses = kernel.machine().busAccessTotal();
         out.end_time = kernel.machine().now();
 
         const pmap::ShootdownController &shoot =
@@ -263,7 +263,7 @@ runSnapshotBatch(const Scenario &scenario,
     const std::uint64_t park_events =
         harness.kernel.machine().ctx().queue().scheduledCount();
     const std::uint64_t park_bus =
-        harness.kernel.machine().bus().accessCount();
+        harness.kernel.machine().busAccessTotal();
 
     // The park point lands at the first event boundary past a
     // watermark, which may overshoot: re-check each probe's

@@ -112,9 +112,13 @@ watchRevoked(vm::Kernel &kernel, kern::Thread &self, vm::Task &task,
  * @p masked_section nonzero the writers interleave interrupt-masked
  * kernel sections between accesses.
  */
+/** Extra scenario-specific coverage run right before finish(). */
+using Coverage = std::function<void(vm::Kernel &, ScenarioState *)>;
+
 Scenario::Launch
 stormLaunch(unsigned children, unsigned rounds, Tick warmup,
-            Tick settle, Tick masked_section = 0)
+            Tick settle, Tick masked_section = 0,
+            Coverage extra = {})
 {
     return [=](vm::Kernel &kernel, ScenarioState *state) {
         vm::Kernel *kp = &kernel;
@@ -122,7 +126,7 @@ stormLaunch(unsigned children, unsigned rounds, Tick warmup,
         kernel.spawnThread(
             nullptr, "chk-driver",
             [kp, state, children, rounds, warmup, settle,
-             masked_section](kern::Thread &drv) {
+             masked_section, extra](kern::Thread &drv) {
                 vm::Kernel &kernel = *kp;
                 vm::Task *task = kernel.createTask("chk-storm");
                 VAddr base = 0;
@@ -156,6 +160,8 @@ stormLaunch(unsigned children, unsigned rounds, Tick warmup,
                         hw::ConsistencyStrategy::Shootdown &&
                     kernel.pmaps().shoot().initiated == 0)
                     failCoverage(state, "storm: no shootdown ran");
+                if (extra)
+                    extra(kernel, state);
                 finish(kernel, state);
             },
             0);
@@ -373,6 +379,71 @@ smallConfig(unsigned ncpus = 6)
     return config;
 }
 
+/** A two-node machine small enough for the explorer to grind on. */
+hw::MachineConfig
+numaConfig(unsigned ncpus = 8, unsigned nodes = 2)
+{
+    hw::MachineConfig config = smallConfig(ncpus);
+    config.numa_nodes = nodes;
+    return config;
+}
+
+/**
+ * Migration-during-shootdown: one page hammered by a writer on each
+ * node while the driver revokes and restores write access. Every
+ * restore refaults both writers, so one of them always counts a
+ * remote fault; at the migrate threshold the page is stolen
+ * (pageProtect shootdown + copy) mid-storm, racing the driver's own
+ * reprotect shootdowns -- the stale-translation hazard the oracle
+ * audits.
+ */
+Scenario::Launch
+numaMigrateLaunch(unsigned rounds)
+{
+    return [=](vm::Kernel &kernel, ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "chk-driver",
+            [kp, state, rounds](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                vm::Task *task = kernel.createTask("chk-migrate");
+                VAddr base = 0;
+                if (!kernel.vmAllocate(drv, *task, &base, kPageSize,
+                                       true)) {
+                    failPredicate(state, "vmAllocate failed");
+                    finish(kernel, state);
+                    return;
+                }
+                bool stop = false;
+                const unsigned ncpus = kernel.machine().ncpus();
+                // One writer per node, both on the same page: the
+                // frame lands on whichever node faults first, so the
+                // other writer's refaults are remote.
+                kern::Thread *near = kernel.spawnThread(
+                    task, "chk-kid",
+                    writerChild(kp, base, &stop, 250 * kUsec, 0), 1);
+                kern::Thread *far = kernel.spawnThread(
+                    task, "chk-kid",
+                    writerChild(kp, base, &stop, 250 * kUsec, 0),
+                    static_cast<std::int64_t>(ncpus - 1));
+                drv.sleep(4 * kMsec);
+                for (unsigned round = 0; round < rounds; ++round) {
+                    watchRevoked(kernel, drv, *task, base, 1, 2 * kMsec,
+                                 state, "migrate", round);
+                    drv.sleep(2 * kMsec);
+                }
+                stop = true;
+                drv.join(*near);
+                drv.join(*far);
+                if (kernel.page_migrations == 0)
+                    failCoverage(state, "migrate: no page migrated");
+                finish(kernel, state);
+            },
+            0);
+    };
+}
+
 Scenario
 storm(std::string name, std::string summary, hw::MachineConfig config,
       Tick bound = 400 * kMsec)
@@ -507,6 +578,81 @@ builtinScenarios()
                             c, 1200 * kMsec));
     }
 
+    // ---- NUMA scenarios (docs/NUMA.md) -----------------------------
+    {
+        Scenario s;
+        s.name = "numa-storm";
+        s.summary = "2-node storm: delegate IPIs + local forwarding";
+        s.config = numaConfig();
+        s.bound = 600 * kMsec;
+        // 5 writers on an 8-CPU/2-node box put two targets on node 1,
+        // so a cross-node shootdown needs both the delegate IPI and
+        // the delegate's local forward.
+        s.launch = stormLaunch(
+            5, 3, 4 * kMsec, 2 * kMsec, 0,
+            [](vm::Kernel &kernel, ScenarioState *state) {
+                if (kernel.pmaps().shoot().cross_node_ipis == 0)
+                    failCoverage(state, "numa: no cross-node IPI");
+                if (kernel.pmaps().shoot().forwarded_ipis == 0)
+                    failCoverage(state, "numa: no forwarded IPI");
+            });
+        out.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "numa-concurrent-initiators";
+        s.summary = "initiators on different nodes, one pmap";
+        s.config = numaConfig();
+        s.bound = 600 * kMsec;
+        // Initiator threads land on CPUs 3 and 4 = nodes 0 and 1.
+        s.launch = concurrentInitiatorsLaunch(2, 3);
+        out.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "numa-migration";
+        s.summary = "migrate-on-remote-fault racing the storm";
+        s.config = numaConfig();
+        s.config.numa_placement = hw::PlacementPolicy::Migrate;
+        s.config.numa_migrate_threshold = 2;
+        s.bound = 600 * kMsec;
+        s.launch = numaMigrateLaunch(4);
+        out.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "numa-replicas";
+        s.summary = "per-node page-table replicas under the storm";
+        s.config = numaConfig();
+        s.config.numa_pt_replicas = true;
+        s.bound = 600 * kMsec;
+        s.launch = stormLaunch(
+            5, 3, 4 * kMsec, 2 * kMsec, 0,
+            [](vm::Kernel &kernel, ScenarioState *state) {
+                if (kernel.pmaps().kernelPmap().table().replicas() < 2)
+                    failCoverage(state, "replicas: not enabled");
+            });
+        out.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "numa-masked-delegate";
+        s.summary = "delegate CPUs stuck in masked sections";
+        s.config = numaConfig();
+        s.bound = 800 * kMsec;
+        // Writers interleave interrupt-masked sections, so the node-1
+        // delegate is often unable to take its cross-node IPI -- the
+        // forward set must still drain (idle exit or a later respond)
+        // for every shootdown to terminate within the bound.
+        s.launch = stormLaunch(
+            5, 3, 4 * kMsec, 3 * kMsec, 1200 * kUsec,
+            [](vm::Kernel &kernel, ScenarioState *state) {
+                if (kernel.pmaps().shoot().forwarded_ipis == 0)
+                    failCoverage(state, "delegate: no forwarded IPI");
+            });
+        out.push_back(s);
+    }
+
     return out;
 }
 
@@ -522,6 +668,26 @@ brokenStallScenario()
     // One writer: with a single responder the no-stall window is a
     // few microseconds wide and the unperturbed run happens to
     // survive it, so detection genuinely requires exploration.
+    s.launch = stormLaunch(1, 3, 4 * kMsec, 2 * kMsec);
+    return s;
+}
+
+Scenario
+brokenReplicaScenario()
+{
+    Scenario s;
+    s.name = "broken-replica";
+    s.summary = "planted bug: replica sync deferred past the rejoin";
+    // One CPU per node: the writer (CPU 1) walks the node-1 replica,
+    // which the planted bug leaves stale for a window after the
+    // initiator (CPU 0) unlocks -- a reload in that window re-caches
+    // the revoked PTE. The window is a single memory access wide, so
+    // the unperturbed run survives and detection requires exploration
+    // (the oracle's TLB-vs-primary audit catches the stale entry).
+    s.config = numaConfig(2, 2);
+    s.config.numa_pt_replicas = true;
+    s.config.chk_defer_replica_sync = true;
+    s.bound = 600 * kMsec;
     s.launch = stormLaunch(1, 3, 4 * kMsec, 2 * kMsec);
     return s;
 }

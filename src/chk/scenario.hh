@@ -84,6 +84,16 @@ std::vector<Scenario> builtinScenarios();
  */
 Scenario brokenStallScenario();
 
+/**
+ * The NUMA analog of the planted bug: per-node page-table replicas
+ * with MachineConfig::chk_defer_replica_sync set, so the initiator
+ * publishes the primary PTE change but syncs the replicas only after
+ * unlocking and rejoining. A remote CPU whose hardware reload lands
+ * in that window re-caches the revoked translation from its stale
+ * local replica. The explorer must find such schedules.
+ */
+Scenario brokenReplicaScenario();
+
 /** Scenario by name from @p library, or null. */
 const Scenario *findScenario(const std::vector<Scenario> &library,
                              const std::string &name);

@@ -26,12 +26,21 @@
 namespace mach::hw
 {
 
-/** Tracks active bus users and prices accesses accordingly. */
+/**
+ * Tracks active bus users and prices accesses accordingly.
+ *
+ * On NUMA shapes each node owns one Bus (its CPUs contend only with
+ * each other); @p node salts the jitter RNG so the per-node streams
+ * are independent. Node 0 with no salt is bit-identical to the
+ * single-bus machine, which the determinism goldens pin.
+ */
 class Bus
 {
   public:
-    explicit Bus(const MachineConfig *config)
-        : config_(config), rng_(config->seed ^ 0xb05b05b05ull)
+    explicit Bus(const MachineConfig *config, unsigned node = 0)
+        : config_(config),
+          rng_(config->seed ^ 0xb05b05b05ull ^
+               (node * 0x9e3779b97f4a7c15ull))
     {
     }
 

@@ -75,6 +75,39 @@ MachineConfig::validate() const
     if (tlb_interlocked_refmod && tlb_no_refmod_writeback)
         fatal("MachineConfig: interlocked ref/mod updates and no "
               "writeback at all are mutually exclusive TLB designs");
+    if (numa_nodes == 0 || numa_nodes > 8)
+        fatal("MachineConfig: numa_nodes (%u) out of range [1,8]",
+              numa_nodes);
+    if (ncpus % numa_nodes != 0) {
+        fatal("MachineConfig: numa_nodes (%u) must evenly divide "
+              "ncpus (%u)",
+              numa_nodes, ncpus);
+    }
+    if (numa_nodes > 1 && ncpus / numa_nodes > 16) {
+        fatal("MachineConfig: a NUMA node is one bus; at most 16 CPUs "
+              "per node (got %u)",
+              ncpus / numa_nodes);
+    }
+    if (numa_nodes > 1 && phys_frames / numa_nodes < 64)
+        fatal("MachineConfig: need at least 64 physical frames per "
+              "NUMA node");
+    if (numa_remote_distance < 10)
+        fatal("MachineConfig: numa_remote_distance (%u) must be >= "
+              "the local distance 10",
+              numa_remote_distance);
+    if (numa_pt_replicas && numa_nodes < 2)
+        fatal("MachineConfig: per-node page-table replicas need "
+              "numa_nodes > 1");
+    if (chk_defer_replica_sync && !numa_pt_replicas)
+        fatal("MachineConfig: chk_defer_replica_sync plants a bug in "
+              "the replica sync path; set numa_pt_replicas");
+    if (numa_nodes > 1 && kernel_pools > 1 &&
+        kernel_pools % numa_nodes != 0 &&
+        numa_nodes % kernel_pools != 0) {
+        fatal("MachineConfig: kernel_pools (%u) and numa_nodes (%u) "
+              "must nest",
+              kernel_pools, numa_nodes);
+    }
 }
 
 } // namespace mach::hw

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "base/types.hh"
 
@@ -69,6 +70,26 @@ enum class ConsistencyStrategy : std::uint8_t
      * the update.
      */
     DelayedFlush,
+};
+
+/**
+ * VM page-placement policy on NUMA shapes (ignored at numa_nodes == 1,
+ * where every frame is node-local by construction).
+ */
+enum class PlacementPolicy : std::uint8_t
+{
+    /** Allocate the frame on the faulting CPU's node. */
+    FirstTouch,
+    /** Round-robin frames across nodes by virtual page number. */
+    Interleave,
+    /**
+     * First-touch, plus migrate a page to the faulting node once it
+     * has taken numa_migrate_threshold faults from remote nodes. The
+     * migration itself revokes the mapping with a shootdown before the
+     * frame copy -- the new stale-translation hazard the chk oracle
+     * audits.
+     */
+    Migrate,
 };
 
 /** Full parameter set for one simulated machine. */
@@ -331,6 +352,68 @@ struct MachineConfig
      * protocols (see docs/CHECKER.md); never set it outside tests.
      */
     bool chk_skip_responder_stall = false;
+
+    // ---- NUMA topology (src/numa) ------------------------------------
+
+    /**
+     * Number of NUMA nodes. 1 (default) is the paper's single-bus
+     * Multimax and leaves every other numa_* knob inert: the node-0
+     * code paths are bit-identical to the pre-NUMA simulator (the
+     * determinism-digest goldens pin this). With N > 1 the ncpus
+     * processors are split into N contiguous blocks (cpu id /
+     * (ncpus/N)), each block sharing a private bus and a contiguous
+     * slice of physical memory, joined by a simulated interconnect.
+     */
+    unsigned numa_nodes = 1;
+
+    /**
+     * Uniform SLIT-style distance to every remote node (local distance
+     * is fixed at 10, as in ACPI). A remote memory access or IPI pays
+     * the local cost scaled by distance/10. Ignored when
+     * numa_distance_spec is set.
+     */
+    unsigned numa_remote_distance = 25;
+
+    /**
+     * Optional full distance matrix, rows separated by ';', entries by
+     * ','; e.g. "10,25;25,10". Must be numa_nodes x numa_nodes with a
+     * diagonal of 10 and symmetric off-diagonal entries >= 10.
+     */
+    std::string numa_distance_spec;
+
+    /** Page placement policy for user/pagein/zero-fill frames. */
+    PlacementPolicy numa_placement = PlacementPolicy::FirstTouch;
+
+    /**
+     * Remote faults on one page before PlacementPolicy::Migrate moves
+     * it to the faulting node.
+     */
+    unsigned numa_migrate_threshold = 4;
+
+    /**
+     * numaPTE-style per-node second-level page-table replicas: every
+     * node walks (and writes ref/mod bits into) its own copy of each
+     * pmap's page table, kept coherent by write fan-out under the pmap
+     * lock plus the shootdown machinery. Replica divergence outside a
+     * pmap operation is an oracle violation.
+     */
+    bool numa_pt_replicas = false;
+
+    /**
+     * TEST ONLY -- plant a replica-coherence bug: pmap updates write
+     * the primary page table immediately but sync the per-node
+     * replicas only after dropping the pmap lock, leaving a window
+     * where a remote CPU's hardware reload re-caches the pre-change
+     * PTE from its stale local replica. Schedule-dependent by design,
+     * like chk_skip_responder_stall; never set it outside tests.
+     */
+    bool chk_defer_replica_sync = false;
+
+    /** Number of CPUs per node (ncpus / numa_nodes). */
+    unsigned cpusPerNode() const
+    {
+        return ncpus / (numa_nodes ? numa_nodes : 1);
+    }
 
     /** Priority of the given interrupt source under this config. */
     Spl irqPriority(Irq irq) const;

@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "base/types.hh"
 #include "hw/phys_mem.hh"
@@ -90,29 +92,73 @@ class PageTable
     /** Physical address of the root table (for diagnostics). */
     PAddr rootAddr() const;
 
+    // ---- numaPTE-style per-node replicas ----------------------------
+
+    /**
+     * Give every NUMA node its own full copy of this table (node 0
+     * keeps the primary). Replica roots and leaves are allocated from
+     * the owning node's memory partition, so a node's walks (and its
+     * ref/mod writebacks) stay node-local; writePte fans out to every
+     * replica under the pmap lock. Call before any PTE is written.
+     */
+    void enableReplicas(unsigned nodes);
+
+    unsigned replicas() const
+    {
+        return static_cast<unsigned>(replica_roots_.size()) + 1;
+    }
+
+    /**
+     * TEST ONLY -- defer replica fan-out: writePte updates only the
+     * primary and records the write; replicas catch up at the next
+     * syncReplicas(). The planted bug behind
+     * MachineConfig::chk_defer_replica_sync.
+     */
+    void setDeferredSync(bool on) { deferred_sync_ = on; }
+    bool deferredSyncPending() const { return !pending_.empty(); }
+    /** Apply deferred writes to the replicas. */
+    void syncReplicas();
+
+    /**
+     * Compare every replica against the primary over [start, end),
+     * ignoring the per-node ref/mod bits. Returns human-readable
+     * divergence descriptions (empty = coherent); meaningful only at
+     * quiescent points, like the TLB audit.
+     */
+    std::vector<std::string> replicaDivergence(Vpn start,
+                                               Vpn end) const;
+
     /**
      * Hardware walk as the MMU performs it: read root entry, then leaf
      * PTE. Never allocates; returns pte = 0 when any level is missing.
+     * @p node selects the walking processor's replica (0 = primary;
+     * ignored unless replicas are enabled).
      */
-    WalkResult walk(Vpn vpn) const;
+    WalkResult walk(Vpn vpn, unsigned node = 0) const;
 
     /** True when the leaf table covering @p vpn exists. */
     bool leafPresent(Vpn vpn) const;
 
     /**
      * Read the PTE for @p vpn; 0 when unmapped (missing levels read as
-     * invalid, matching hardware).
+     * invalid, matching hardware). With replicas enabled the ref/mod
+     * bits of every replica are OR-merged in, since each node's
+     * hardware writes them back into its own copy.
      */
     std::uint32_t readPte(Vpn vpn) const;
 
     /**
      * Write the PTE for @p vpn, allocating the leaf table on demand.
-     * Writing 0 (invalid) never allocates.
+     * Writing 0 (invalid) never allocates. Fans out to every replica
+     * (immediately, or at the next syncReplicas() in deferred mode).
      */
     void writePte(Vpn vpn, std::uint32_t value);
 
-    /** Physical address of the PTE word for @p vpn; 0 if leaf missing. */
-    PAddr pteAddr(Vpn vpn) const;
+    /**
+     * Physical address of the PTE word for @p vpn in @p node's replica
+     * (0 = primary); 0 if the leaf is missing.
+     */
+    PAddr pteAddr(Vpn vpn, unsigned node = 0) const;
 
     /**
      * Invoke @p fn for every valid PTE with vpn in [start, end),
@@ -137,10 +183,24 @@ class PageTable
 
   private:
     std::uint32_t rootEntry(Vpn vpn) const;
+    /** Root frame of @p node's replica (node 0 = the primary). */
+    Pfn rootOf(unsigned node) const
+    {
+        return node == 0 ? root_pfn_ : replica_roots_[node - 1];
+    }
+    /** Write @p value into one replica, allocating its leaf on demand. */
+    void replicaWrite(unsigned node, Vpn vpn, std::uint32_t value);
+    /** Free every leaf of one replica and zero its root. */
+    void collectReplica(unsigned node);
 
     PhysMem *mem_;
     Pfn root_pfn_;
     unsigned leaf_count_ = 0;
+    /** Replica root frames for nodes 1..N-1 (empty = no replication). */
+    std::vector<Pfn> replica_roots_;
+    bool deferred_sync_ = false;
+    /** Writes awaiting replica fan-out (deferred mode only). */
+    std::vector<std::pair<Vpn, std::uint32_t>> pending_;
 };
 
 } // namespace mach::hw

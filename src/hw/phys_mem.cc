@@ -8,32 +8,53 @@
 namespace mach::hw
 {
 
-PhysMem::PhysMem(std::uint32_t frames)
-    : total_frames_(frames), frames_(frames)
+PhysMem::PhysMem(std::uint32_t frames, unsigned nodes)
+    : total_frames_(frames), frames_per_node_(frames / nodes),
+      frames_(frames), free_lists_(nodes)
 {
-    MACH_ASSERT(frames >= 2);
-    free_list_.reserve(frames - 1);
-    // Push high frames first so allocation hands out low PFNs first,
-    // which keeps test output stable and readable.
-    for (Pfn pfn = frames - 1; pfn >= 1; --pfn)
-        free_list_.push_back(pfn);
+    MACH_ASSERT(frames >= 2 && nodes >= 1 && frames / nodes >= 2);
+    // Within each partition, push high frames first so allocation
+    // hands out low PFNs first, which keeps test output stable and
+    // readable. With one node this is the original single free list.
+    for (unsigned node = 0; node < nodes; ++node) {
+        const Pfn lo = node == 0 ? 1 : node * frames_per_node_;
+        const Pfn hi = node + 1 == nodes ? frames
+                                         : (node + 1) * frames_per_node_;
+        free_lists_[node].reserve(hi - lo);
+        for (Pfn pfn = hi - 1; pfn >= lo; --pfn)
+            free_lists_[node].push_back(pfn);
+    }
 }
 
 std::uint32_t
 PhysMem::freeFrames() const
 {
-    return static_cast<std::uint32_t>(free_list_.size());
+    std::uint32_t total = 0;
+    for (const auto &list : free_lists_)
+        total += static_cast<std::uint32_t>(list.size());
+    return total;
+}
+
+std::uint32_t
+PhysMem::freeFramesOnNode(unsigned node) const
+{
+    return static_cast<std::uint32_t>(free_lists_[node].size());
 }
 
 Pfn
-PhysMem::allocFrame()
+PhysMem::allocFrame(unsigned node)
 {
-    if (free_list_.empty())
-        panic("PhysMem: out of physical frames (%u total)", total_frames_);
-    Pfn pfn = free_list_.back();
-    free_list_.pop_back();
-    zeroFrame(pfn);
-    return pfn;
+    MACH_ASSERT(node < nodes());
+    for (unsigned offset = 0; offset < nodes(); ++offset) {
+        auto &list = free_lists_[(node + offset) % nodes()];
+        if (list.empty())
+            continue;
+        Pfn pfn = list.back();
+        list.pop_back();
+        zeroFrame(pfn);
+        return pfn;
+    }
+    panic("PhysMem: out of physical frames (%u total)", total_frames_);
 }
 
 void
@@ -41,7 +62,7 @@ PhysMem::freeFrame(Pfn pfn)
 {
     MACH_ASSERT(validPfn(pfn));
     frames_[pfn].reset();
-    free_list_.push_back(pfn);
+    free_lists_[nodeOfPfn(pfn)].push_back(pfn);
 }
 
 bool

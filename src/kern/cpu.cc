@@ -24,8 +24,15 @@ irqSpanName(hw::Irq irq)
 } // namespace
 
 Cpu::Cpu(Machine *machine, CpuId id)
-    : machine_(machine), id_(id), tlb_(&machine->cfg(), &machine->mem())
+    : machine_(machine), id_(id), node_(machine->nodeOfCpu(id)),
+      tlb_(&machine->cfg(), &machine->mem())
 {
+}
+
+hw::Bus &
+Cpu::bus()
+{
+    return machine_->bus(node_);
 }
 
 hw::Spl
@@ -81,7 +88,7 @@ Cpu::pollInterrupts()
         if (machine_->cfg().intr_dispatch_jitter > 0)
             dispatch +=
                 machine_->rng().below(machine_->cfg().intr_dispatch_jitter);
-        dispatch += machine_->bus().accessCost(4);
+        dispatch += bus().accessCost(4);
         advanceNoPoll(dispatch);
 
         machine_->dispatchIrq(irq, *this);
@@ -161,13 +168,13 @@ Cpu::advanceNoPoll(Tick dt)
 void
 Cpu::spinOnce()
 {
-    advance(machine_->cfg().spin_quantum + machine_->bus().accessCost());
+    advance(machine_->cfg().spin_quantum + bus().accessCost());
 }
 
 void
 Cpu::memAccess(unsigned count)
 {
-    advance(machine_->bus().accessCost(count));
+    advance(bus().accessCost(count));
 }
 
 void

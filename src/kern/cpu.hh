@@ -29,6 +29,11 @@ namespace mach::pmap
 class Pmap;
 } // namespace mach::pmap
 
+namespace mach::hw
+{
+class Bus;
+} // namespace mach::hw
+
 namespace mach::kern
 {
 
@@ -51,6 +56,11 @@ class Cpu
     CpuId id() const { return id_; }
     Machine &machine() { return *machine_; }
     hw::Tlb &tlb() { return tlb_; }
+
+    /** NUMA node this processor belongs to (0 on non-NUMA machines). */
+    unsigned node() const { return node_; }
+    /** This processor's node-local bus. */
+    hw::Bus &bus();
 
     // ---- Shootdown-visible processor state --------------------------
 
@@ -144,6 +154,8 @@ class Cpu
 
     std::uint64_t interrupts_taken = 0;
     std::uint64_t faults_taken = 0;
+    /** Translated accesses that resolved to a remote node's frame. */
+    std::uint64_t remote_mem_accesses = 0;
 
     // ---- Scheduler hooks (used by Sched) -------------------------------
 
@@ -161,6 +173,7 @@ class Cpu
 
     Machine *machine_;
     CpuId id_;
+    unsigned node_;
     hw::Tlb tlb_;
     hw::Spl spl_ = hw::Spl0;
     bool in_poll_ = false;

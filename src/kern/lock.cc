@@ -36,7 +36,7 @@ SpinLock::rawLock(Cpu &cpu)
     cpu.advanceNoPoll(cpu.machine().cfg().lock_acquire_cost);
     if (holder_ >= 0) {
         ++contended_acquires;
-        hw::Bus::User user(cpu.machine().bus());
+        hw::Bus::User user(cpu.bus());
         while (holder_ >= 0)
             cpu.spinOnce();
     }

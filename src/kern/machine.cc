@@ -11,14 +11,17 @@ namespace mach::kern
 {
 
 Machine::Machine(const hw::MachineConfig &config)
-    : config_(config), rng_(config.seed)
+    : config_((config.validate(), config)), topo_(&config_),
+      rng_(config.seed)
 {
-    config_.validate();
     // Responder sampling can never cover more processors than exist.
     config_.xpr_responder_cpus =
         std::min(config_.xpr_responder_cpus, config_.ncpus);
-    mem_ = std::make_unique<hw::PhysMem>(config_.phys_frames);
-    bus_ = std::make_unique<hw::Bus>(&config_);
+    mem_ = std::make_unique<hw::PhysMem>(config_.phys_frames,
+                                         topo_.nodes());
+    buses_.reserve(topo_.nodes());
+    for (unsigned node = 0; node < topo_.nodes(); ++node)
+        buses_.push_back(std::make_unique<hw::Bus>(&config_, node));
     intr_ = std::make_unique<hw::InterruptController>(&config_,
                                                       config_.ncpus);
     intr_->setKick([this](CpuId id) { cpu(id).kick(); });
@@ -176,12 +179,11 @@ Machine::runPrefix(std::uint64_t event_watermark,
 {
     PrefixRun out;
     const sim::EventQueue &queue = ctx_.queue();
-    const hw::Bus &bus = *bus_;
     out.events = ctx_.runGuarded(
         until,
         [&] {
             return queue.scheduledCount() >= event_watermark ||
-                   bus.accessCount() >= bus_watermark;
+                   busAccessTotal() >= bus_watermark;
         },
         &out.parked);
     return out;

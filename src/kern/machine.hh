@@ -24,6 +24,7 @@
 #include "hw/machine_config.hh"
 #include "hw/phys_mem.hh"
 #include "kern/cpu.hh"
+#include "numa/topology.hh"
 #include "sim/context.hh"
 
 namespace mach::pmap
@@ -62,8 +63,27 @@ class Machine
 
     sim::Context &ctx() { return ctx_; }
     hw::PhysMem &mem() { return *mem_; }
-    hw::Bus &bus() { return *bus_; }
+    /** Node 0's bus (the only bus on non-NUMA machines). */
+    hw::Bus &bus() { return *buses_[0]; }
+    /** Bus of NUMA node @p node. */
+    hw::Bus &bus(unsigned node) { return *buses_[node]; }
     hw::InterruptController &intr() { return *intr_; }
+
+    // ---- NUMA topology ----------------------------------------------
+
+    const numa::Topology &topo() const { return topo_; }
+    unsigned numaNodes() const { return topo_.nodes(); }
+    unsigned nodeOfCpu(CpuId id) const { return topo_.nodeOfCpu(id); }
+
+    /** Accesses priced across every node's bus (prefix watermarking). */
+    std::uint64_t
+    busAccessTotal() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &bus : buses_)
+            total += bus->accessCount();
+        return total;
+    }
     Sched &sched() { return *sched_; }
     Rng &rng() { return rng_; }
     xpr::Buffer &xpr() { return *xpr_; }
@@ -149,7 +169,11 @@ class Machine
     setPerturber(const SchedulePerturber *perturber)
     {
         ctx_.queue().setPerturber(perturber);
-        bus_->setPerturber(perturber);
+        // On NUMA shapes every node bus counts accesses independently,
+        // so one b<n> directive fires on whichever bus reaches access
+        // n (possibly several) -- deterministic either way.
+        for (auto &bus : buses_)
+            bus->setPerturber(perturber);
     }
 
     /** Begin periodic timer interrupts on all CPUs (if configured). */
@@ -194,10 +218,11 @@ class Machine
     void timerTick(CpuId id);
 
     hw::MachineConfig config_;
+    numa::Topology topo_;
     sim::Context ctx_;
     Rng rng_;
     std::unique_ptr<hw::PhysMem> mem_;
-    std::unique_ptr<hw::Bus> bus_;
+    std::vector<std::unique_ptr<hw::Bus>> buses_;
     std::unique_ptr<hw::InterruptController> intr_;
     std::vector<std::unique_ptr<Cpu>> cpus_;
     std::unique_ptr<Sched> sched_;

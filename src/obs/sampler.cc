@@ -74,7 +74,16 @@ Sampler::sample()
     ++samples_;
 
     const TrackId mt = rec.machineTrack();
-    rec.counter(mt, "bus.accesses", machine.bus().accessCount());
+    rec.counter(mt, "bus.accesses", machine.busAccessTotal());
+    if (machine.numaNodes() > 1) {
+        std::uint64_t remote = 0;
+        for (CpuId id = 0; id < machine.ncpus(); ++id)
+            remote += machine.cpu(id).remote_mem_accesses;
+        rec.counter(mt, "numa.remote_accesses", remote);
+        pmap::ShootdownController &sc = kernel_.pmaps().shoot();
+        rec.counter(mt, "numa.cross_node_ipis", sc.cross_node_ipis);
+        rec.counter(mt, "numa.forwarded_ipis", sc.forwarded_ipis);
+    }
     rec.counter(mt, "events.queued", machine.ctx().queue().size());
     rec.counter(mt, "mem.free_frames", machine.mem().freeFrames());
 

@@ -19,9 +19,14 @@ namespace mach::pmap
 Pmap::Pmap(PmapSystem *sys, bool is_kernel)
     : sys_(sys), is_kernel_(is_kernel), space_(sys->next_space_++),
       table_(&sys->machine().mem()),
-      lock_(is_kernel ? "kernel-pmap" : "user-pmap", hw::SplHigh),
-      in_use_(sys->machine().ncpus(), false)
+      lock_(is_kernel ? "kernel-pmap" : "user-pmap", hw::SplHigh)
 {
+    const hw::MachineConfig &cfg = sys->machine().cfg();
+    if (cfg.numa_pt_replicas && sys->machine().numaNodes() > 1) {
+        table_.enableReplicas(sys->machine().numaNodes());
+        if (cfg.chk_defer_replica_sync)
+            table_.setDeferredSync(true);
+    }
     sys_->spaces_[space_] = this;
 }
 
@@ -50,28 +55,15 @@ Pmap::~Pmap()
 bool
 Pmap::othersUsing(CpuId self) const
 {
-    for (CpuId id = 0; id < in_use_.size(); ++id) {
-        if (id != self && in_use_[id])
-            return true;
-    }
-    return false;
-}
-
-unsigned
-Pmap::useCount() const
-{
-    unsigned count = 0;
-    for (bool used : in_use_) {
-        if (used)
-            ++count;
-    }
-    return count;
+    CpuSet others = in_use_;
+    others.clear(self);
+    return !others.empty();
 }
 
 void
 Pmap::activate(kern::Cpu &cpu)
 {
-    in_use_[cpu.id()] = true;
+    in_use_.set(cpu.id());
     cpu.cur_pmap = this;
 }
 
@@ -89,7 +81,7 @@ Pmap::deactivate(kern::Cpu &cpu)
     // Multimax behaviour: the TLB is flushed on context switch, so no
     // entries for this space survive.
     cpu.tlb().flushAll();
-    in_use_[cpu.id()] = false;
+    in_use_.clear(cpu.id());
 }
 
 bool
@@ -160,7 +152,7 @@ Pmap::updateMappings(kern::Thread &thread, Vpn start, Vpn end,
     // ShootdownController::invalidateAfterChange).
     const bool after = sys_->shoot().invalidateAfterChange();
     auto consistency_actions = [&] {
-        if (in_use_[cpu.id()])
+        if (in_use_.test(cpu.id()))
             sys_->shoot().invalidateLocal(cpu, space_, start, end);
         if (othersUsing(cpu.id())) {
             ++shootdowns_initiated;
@@ -173,7 +165,7 @@ Pmap::updateMappings(kern::Thread &thread, Vpn start, Vpn end,
         // Technique 2: invalidate locally, remember every other
         // user's flush epoch, and wait (after the change, outside the
         // lock) for timer-driven flushes to catch up.
-        if (in_use_[cpu.id()])
+        if (in_use_.test(cpu.id()))
             sys_->shoot().invalidateLocal(cpu, space_, start, end);
         snapshot = sys_->shoot().snapshotFlushes(cpu, *this);
     } else if (need_consistency && !after) {
@@ -188,6 +180,20 @@ Pmap::updateMappings(kern::Thread &thread, Vpn start, Vpn end,
 
     lock_.rawUnlock(cpu);
     cpu.active = true;
+
+    if (table_.deferredSyncPending()) {
+        // TEST ONLY (chk_defer_replica_sync): replica fan-out was
+        // deferred past the unlock and the active-set rejoin, so a
+        // released responder whose stall-exit, drain, and reload all
+        // land before the sync below re-caches a pre-change PTE from
+        // its node-local replica. The window is one tick wide and a
+        // responder's drain alone costs microseconds, so the
+        // unperturbed run survives; detection requires a schedule that
+        // stretches this event (the explorer's golden find).
+        cpu.advanceNoPoll(1);
+        table_.syncReplicas();
+    }
+
     // Restoring the interrupt state services any shootdown queued at us
     // while we were initiating ("the interrupts will be acted upon
     // before performing any memory references that may use inconsistent
@@ -327,7 +333,7 @@ PmapSystem::PmapSystem(kern::Machine &machine) : machine_(machine)
     // The kernel is a multi-threaded task potentially executing on all
     // processors, so its pmap is permanently in use everywhere.
     for (CpuId id = 0; id < machine_.ncpus(); ++id)
-        kernel_pmap_->in_use_[id] = true;
+        kernel_pmap_->in_use_.set(id);
     machine_.kernel_pmap = kernel_pmap_.get();
     machine_.pmap_sys = this;
 }
@@ -430,6 +436,21 @@ PmapSystem::auditTlbConsistency() const
             }
         }
     }
+    // With per-node page-table replicas, every replica must agree with
+    // the primary (modulo per-node ref/mod bits) at quiescent points.
+    for (const auto &[space, pmap] : spaces_) {
+        if (pmap->table().replicas() < 2 ||
+            pmap->table().deferredSyncPending() ||
+            pmap->low_water_ >= pmap->high_water_) {
+            continue;
+        }
+        for (const std::string &d : pmap->table().replicaDivergence(
+                 pmap->low_water_, pmap->high_water_)) {
+            std::snprintf(buf, sizeof(buf), "space %u: %s", space,
+                          d.c_str());
+            violations.emplace_back(buf);
+        }
+    }
     return violations;
 }
 
@@ -458,6 +479,23 @@ Cpu::access(VAddr va, Prot want)
 {
     const hw::MachineConfig &cfg = machine_->cfg();
     const Vpn vpn = vaToVpn(va);
+    const bool numa = machine_->numaNodes() > 1;
+
+    // Deterministic interconnect penalty for touching a frame that
+    // lives on another node's memory: a flat distance-scaled surcharge
+    // on top of the bus-priced access (no RNG draws, so single-node
+    // runs and their goldens are untouched).
+    auto remotePenalty = [&](kern::Cpu &here, Pfn pfn, unsigned count) {
+        if (!numa)
+            return;
+        const Tick extra = machine_->topo().remoteCost(
+            here.node_, machine_->mem().nodeOfPfn(pfn),
+            cfg.mem_access_cost);
+        if (extra == 0)
+            return;
+        ++here.remote_mem_accesses;
+        here.advanceNoPoll(extra * count);
+    };
 
     // The fault path below can block (map locks, pagein) and the
     // thread may be rescheduled onto a different processor, so the
@@ -473,10 +511,13 @@ Cpu::access(VAddr va, Prot want)
             return {};
 
         here.advance(cfg.tlb_lookup_cost);
-        const PAddr pte_addr = pm->table().pteAddr(vpn);
+        // With per-node replicas, this CPU's walker (and its ref/mod
+        // writebacks) operate on the node-local copy of the table.
+        const PAddr pte_addr = pm->table().pteAddr(vpn, here.node_);
         const hw::TlbLookup look =
             here.tlb_.lookup(pm->space(), vpn, want, pte_addr);
         if (look.hit && look.prot_ok) {
+            remotePenalty(here, look.pfn, 1);
             return {true,
                     (look.pfn << kPageShift) | (va & kPageMask)};
         }
@@ -500,7 +541,7 @@ Cpu::access(VAddr va, Prot want)
             // image enter the TLB *after* the drain had already run,
             // a stale translation the schedule explorer can force by
             // landing a shootdown IPI inside the walk window.
-            const hw::WalkResult walk = pm->table().walk(vpn);
+            const hw::WalkResult walk = pm->table().walk(vpn, here.node_);
             const Prot pte_prot = hw::pte::prot(walk.pte);
             const bool resolved =
                 hw::pte::valid(walk.pte) && protAllows(pte_prot, want);
@@ -512,7 +553,8 @@ Cpu::access(VAddr va, Prot want)
                     std::uint32_t updated = walk.pte | hw::pte::kRef;
                     if (writing)
                         updated |= hw::pte::kMod;
-                    const PAddr addr = pm->table().pteAddr(vpn);
+                    const PAddr addr =
+                        pm->table().pteAddr(vpn, here.node_);
                     if (addr != 0)
                         machine_->mem().write32(addr, updated);
                 }
@@ -521,6 +563,14 @@ Cpu::access(VAddr va, Prot want)
                                  writing);
             }
             here.memAccess(walk.memory_reads);
+            // A walk through a remote node's page-table frames pays the
+            // interconnect surcharge per level read; replicas exist
+            // precisely to make this term vanish.
+            if (numa && pte_addr != 0) {
+                remotePenalty(here,
+                              static_cast<Pfn>(pte_addr >> kPageShift),
+                              walk.memory_reads);
+            }
             here.advance(cfg.tlb_reload_cost_per_level *
                          walk.memory_reads);
             if (resolved)

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/cpuset.hh"
 #include "base/types.hh"
 #include "hw/page_table.hh"
 #include "hw/tlb.hh"
@@ -114,14 +115,16 @@ class Pmap
      */
     void deactivate(kern::Cpu &cpu);
 
-    bool inUse(CpuId id) const { return in_use_[id]; }
+    bool inUse(CpuId id) const { return in_use_.test(id); }
+    /** Set of processors currently using this pmap. */
+    const CpuSet &users() const { return in_use_; }
     /** True when any processor other than @p self uses this pmap. */
     bool othersUsing(CpuId self) const;
     /** Number of processors using this pmap. */
-    unsigned useCount() const;
+    unsigned useCount() const { return in_use_.count(); }
 
     /** Clear the in-use bit after an explicit full flush (ASID mode). */
-    void clearInUse(CpuId id) { in_use_[id] = false; }
+    void clearInUse(CpuId id) { in_use_.clear(id); }
 
     // ---- Statistics --------------------------------------------------
 
@@ -157,7 +160,7 @@ class Pmap
     hw::SpaceId space_;
     hw::PageTable table_;
     kern::SpinLock lock_;
-    std::vector<bool> in_use_;
+    CpuSet in_use_;
     /** Watermarks of ever-entered vpns; bound collect()'s scan range. */
     Vpn low_water_ = ~Vpn{0};
     Vpn high_water_ = 0;

@@ -14,7 +14,8 @@ namespace mach::pmap
 {
 
 ShootdownController::ShootdownController(PmapSystem &sys)
-    : sys_(sys), machine_(sys.machine())
+    : sys_(sys), machine_(sys.machine()),
+      forward_pending_(sys.machine().numaNodes())
 {
     state_.reserve(machine_.ncpus());
     for (CpuId id = 0; id < machine_.ncpus(); ++id)
@@ -229,6 +230,53 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
                     intr.post(id, hw::Irq::Shootdown, machine_.now());
                     ++interrupts_sent;
                 }
+            } else if (machine_.numaNodes() > 1) {
+                // Two-phase distributed shootdown: directed IPIs stay
+                // on this node; each remote node gets exactly one
+                // cross-interconnect IPI, aimed at a delegate (the
+                // node's lowest-numbered target), which re-broadcasts
+                // to its node-mates locally. All forwarding sets are
+                // filled before the first send leaves, so no delegate
+                // can respond and miss its fan-out duty.
+                constexpr CpuId kNone = ~CpuId{0};
+                std::vector<CpuId> delegates(machine_.numaNodes(),
+                                             kNone);
+                std::vector<CpuId> local_targets;
+                for (CpuId id : send_list) {
+                    const unsigned node = machine_.nodeOfCpu(id);
+                    if (node == self.node())
+                        local_targets.push_back(id);
+                    else if (delegates[node] == kNone)
+                        delegates[node] = id;
+                    else
+                        forward_pending_[node].set(id);
+                }
+                for (CpuId id : local_targets) {
+                    Tick send = cfg.ipi_send_cost;
+                    if (cfg.ipi_send_jitter > 0)
+                        send +=
+                            machine_.rng().below(cfg.ipi_send_jitter);
+                    self.advanceNoPoll(send);
+                    intr.post(id, hw::Irq::Shootdown, machine_.now());
+                    ++interrupts_sent;
+                }
+                for (unsigned node = 0; node < delegates.size();
+                     ++node) {
+                    if (delegates[node] == kNone)
+                        continue;
+                    Tick send = cfg.ipi_send_cost +
+                                machine_.topo().remoteCost(
+                                    self.node(), node,
+                                    cfg.ipi_send_cost);
+                    if (cfg.ipi_send_jitter > 0)
+                        send +=
+                            machine_.rng().below(cfg.ipi_send_jitter);
+                    self.advanceNoPoll(send);
+                    intr.post(delegates[node], hw::Irq::Shootdown,
+                              machine_.now());
+                    ++interrupts_sent;
+                    ++cross_node_ipis;
+                }
             } else {
                 // Baseline: iterate down the list one directed IPI at
                 // a time.
@@ -257,7 +305,7 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
                                  "shoot.sync_us",
                                  obs::Arg{"waiting_on",
                                           sync_list.size()});
-        hw::Bus::User bus_user(machine_.bus());
+        hw::Bus::User bus_user(self.bus());
         for (CpuId id : sync_list) {
             kern::Cpu &target = machine_.cpu(id);
             CpuShootState &st = *state_[id];
@@ -331,6 +379,42 @@ ShootdownController::drainActions(kern::Cpu &cpu)
 }
 
 void
+ShootdownController::drainForwards(kern::Cpu &cpu)
+{
+    CpuSet &pending = forward_pending_[cpu.node()];
+    if (pending.empty())
+        return;
+    // Claim the whole set at one instant (no time passes between the
+    // copy and the clear), so a concurrent same-node responder cannot
+    // double-forward.
+    const CpuSet claimed = pending;
+    pending.clearAll();
+    MACH_TRACE_LOG(Shootdown, machine_.now(),
+                   "cpu%u forwards local shootdown IPIs to %s",
+                   cpu.id(), claimed.format().c_str());
+
+    const hw::MachineConfig &cfg = machine_.cfg();
+    hw::InterruptController &intr = machine_.intr();
+    claimed.forEach([&](CpuId id) {
+        kern::Cpu &target = machine_.cpu(id);
+        // The initiator already queued the action; skip targets that
+        // drained it meanwhile (idle exit) or already have an IPI
+        // pending.
+        if (!state_[id]->action_needed || target.idle ||
+            intr.pending(id, hw::Irq::Shootdown)) {
+            return;
+        }
+        Tick send = cfg.ipi_send_cost;
+        if (cfg.ipi_send_jitter > 0)
+            send += machine_.rng().below(cfg.ipi_send_jitter);
+        cpu.advanceNoPoll(send);
+        intr.post(id, hw::Irq::Shootdown, machine_.now());
+        ++interrupts_sent;
+        ++forwarded_ipis;
+    });
+}
+
+void
 ShootdownController::respond(kern::Cpu &cpu)
 {
     const hw::MachineConfig &cfg = machine_.cfg();
@@ -339,6 +423,7 @@ ShootdownController::respond(kern::Cpu &cpu)
     // Disable all interrupts for the duration: a device interrupt at
     // the wrong point could stall the whole machine (Section 4).
     const hw::Spl saved = cpu.setSpl(hw::SplHigh);
+    drainForwards(cpu);
     CpuShootState &st = *state_[cpu.id()];
     const bool had_work = st.action_needed;
 
@@ -367,7 +452,7 @@ ShootdownController::respond(kern::Cpu &cpu)
         if (responderMustStall()) {
             obs::SpanGuard stall_span(rec, rec.cpuTrack(cpu.id()),
                                       "shoot.stall", "shoot");
-            hw::Bus::User bus_user(machine_.bus());
+            hw::Bus::User bus_user(cpu.bus());
             Pmap *kernel = &sys_.kernelPmap();
             Pmap *user = cpu.cur_pmap;
             while (kernel->locked() || (user != nullptr &&
@@ -398,6 +483,13 @@ ShootdownController::respond(kern::Cpu &cpu)
 void
 ShootdownController::idleExit(kern::Cpu &cpu)
 {
+    if (!forward_pending_[cpu.node()].empty()) {
+        // Pick up fan-out work a slow (or since-idled) delegate left
+        // behind; liveness must not depend on any single processor.
+        const hw::Spl fwd_saved = cpu.setSpl(hw::SplHigh);
+        drainForwards(cpu);
+        cpu.setSpl(fwd_saved);
+    }
     CpuShootState &st = *state_[cpu.id()];
     if (!st.action_needed)
         return;
@@ -414,7 +506,7 @@ ShootdownController::idleExit(kern::Cpu &cpu)
     const hw::Spl saved = cpu.setSpl(hw::SplHigh);
     while (st.action_needed) {
         if (responderMustStall()) {
-            hw::Bus::User bus_user(machine_.bus());
+            hw::Bus::User bus_user(cpu.bus());
             Pmap *kernel = &sys_.kernelPmap();
             while (kernel->locked())
                 cpu.spinOnce();

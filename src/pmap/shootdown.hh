@@ -44,6 +44,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/cpuset.hh"
 #include "base/types.hh"
 #include "hw/machine_config.hh"
 #include "hw/tlb.hh"
@@ -104,6 +105,16 @@ class ShootdownController
 
     /** Phases 2 and 4: the shootdown interrupt service routine. */
     void respond(kern::Cpu &cpu);
+
+    /**
+     * Two-phase distributed shootdown, forwarding side: post local IPIs
+     * to the node-mates an initiator on another node left pending when
+     * it interrupted only this node's delegate. Any processor of the
+     * node may forward -- the delegate normally does, but a concurrent
+     * responder (or a processor leaving the idle set) picks the set up
+     * if the delegate is slow, so liveness never hinges on one CPU.
+     */
+    void drainForwards(kern::Cpu &cpu);
 
     /**
      * Drain queued actions on a processor leaving the idle set, before
@@ -170,6 +181,10 @@ class ShootdownController
     std::uint64_t idle_drains = 0;
     std::uint64_t queue_overflows = 0;
     std::uint64_t remote_invalidates = 0;
+    /** Initiator-to-delegate IPIs that crossed the interconnect. */
+    std::uint64_t cross_node_ipis = 0;
+    /** Local IPIs posted on a delegate's behalf (phase-two fan-out). */
+    std::uint64_t forwarded_ipis = 0;
 
   private:
     /** Queue an action on @p target's queue (initiator side). */
@@ -182,6 +197,13 @@ class ShootdownController
     PmapSystem &sys_;
     kern::Machine &machine_;
     std::vector<std::unique_ptr<CpuShootState>> state_;
+    /**
+     * Per-node sets of send-list members awaiting a locally forwarded
+     * IPI (their queues and action-needed flags are already set; only
+     * the interrupt is outstanding). Filled by remote initiators before
+     * any IPI leaves, drained by drainForwards.
+     */
+    std::vector<CpuSet> forward_pending_;
 };
 
 } // namespace mach::pmap

@@ -517,7 +517,7 @@ Kernel::deepCopyObject(kern::Thread &thread, const VmMapEntry &entry)
             entry.object->lookupChain(entry.offset + p);
         if (found.page == nullptr)
             continue;
-        const Pfn frame = machine_->mem().allocFrame();
+        const Pfn frame = allocPlacedFrame(thread, p);
         machine_->mem().copyFrame(frame, found.page->pfn);
         kernelSection(thread, machine_->cfg().page_copy_cost);
         fresh->insertPage(p, frame);

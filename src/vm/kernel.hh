@@ -211,6 +211,12 @@ class Kernel
     std::uint64_t faults_failed = 0;
     std::uint64_t cow_copies = 0;
     std::uint64_t zero_fills = 0;
+    /** Resolved faults whose page frame sat on the faulter's node. */
+    std::uint64_t local_faults = 0;
+    /** Resolved faults whose page frame sat on another node. */
+    std::uint64_t remote_faults = 0;
+    /** Pages copied to the faulting node by the Migrate policy. */
+    std::uint64_t page_migrations = 0;
 
   private:
     friend class Task;
@@ -224,6 +230,25 @@ class Kernel
     /** Resolve a fault with the map lock held. */
     bool faultLocked(kern::Thread &thread, VmMap &map, pmap::Pmap &pmap,
                      VAddr va, Prot want);
+
+    /**
+     * Allocate a frame according to the configured NUMA placement
+     * policy (@p key steers interleaving; single-node machines fall
+     * back to the plain allocator).
+     */
+    Pfn allocPlacedFrame(kern::Thread &thread, std::uint32_t key);
+
+    /**
+     * Migrate-on-remote-fault: steal @p page exactly like the pageout
+     * daemon (busy + pageProtect shootdown), copy the frame to
+     * @p to_node, and swap it in. Every stale mapping is gone by the
+     * time the copy lands -- the hazard the checker's oracle audits.
+     */
+    void migratePage(kern::Thread &thread, VmPage &page,
+                     unsigned to_node);
+
+    /** Count a resolved fault and run the migrate policy on @p page. */
+    void notePlacement(kern::Thread &thread, VmPage &page);
 
     /**
      * Eager physical copy of an entry's currently visible pages into a

@@ -96,6 +96,69 @@ Kernel::handleFault(kern::Thread &thread, VAddr va, Prot want)
     return ok;
 }
 
+Pfn
+Kernel::allocPlacedFrame(kern::Thread &thread, std::uint32_t key)
+{
+    if (machine_->numaNodes() < 2)
+        return machine_->mem().allocFrame();
+    unsigned node = thread.cpu().node(); // First-touch (and Migrate).
+    if (machine_->cfg().numa_placement ==
+        hw::PlacementPolicy::Interleave) {
+        node = key % machine_->numaNodes();
+    }
+    return machine_->mem().allocFrame(node);
+}
+
+void
+Kernel::migratePage(kern::Thread &thread, VmPage &page,
+                    unsigned to_node)
+{
+    const hw::MachineConfig &cfg = machine_->cfg();
+    // The pageout steal, aimed at another node instead of the disk:
+    // mark the page busy, shoot every mapping of the old frame out of
+    // every TLB, copy, then swap the frame under the page.
+    page.busy = true;
+    const Pfn old = page.pfn;
+    pmap::Pmap::pageProtect(*pmap_sys_, thread, old, ProtNone);
+    const Pfn fresh = machine_->mem().allocFrame(to_node);
+    machine_->mem().copyFrame(fresh, old);
+    kernelSection(thread, cfg.page_copy_cost);
+    page.pfn = fresh;
+    page.remote_faults = 0;
+    machine_->mem().freeFrame(old);
+    page.busy = false;
+    ++page_migrations;
+
+    obs::Recorder &rec = machine_->recorder();
+    if (rec.enabled()) {
+        rec.instant(rec.cpuTrack(thread.cpu().id()), "vm.migrate",
+                    "vm", obs::Arg{"pfn", fresh},
+                    obs::Arg{"to_node", to_node});
+    }
+    MACH_TRACE_LOG(Vm, machine_->now(),
+                   "cpu%u migrates pfn %u -> %u (node %u)",
+                   thread.cpu().id(), old, fresh, to_node);
+}
+
+void
+Kernel::notePlacement(kern::Thread &thread, VmPage &page)
+{
+    if (machine_->numaNodes() < 2)
+        return;
+    const unsigned here = thread.cpu().node();
+    if (machine_->mem().nodeOfPfn(page.pfn) == here) {
+        ++local_faults;
+        return;
+    }
+    ++remote_faults;
+    if (machine_->cfg().numa_placement ==
+            hw::PlacementPolicy::Migrate &&
+        !page.wired && !page.busy &&
+        ++page.remote_faults >= machine_->cfg().numa_migrate_threshold) {
+        migratePage(thread, page, here);
+    }
+}
+
 bool
 Kernel::faultLocked(kern::Thread &thread, VmMap &map, pmap::Pmap &pmap,
                     VAddr va, Prot want)
@@ -150,7 +213,7 @@ Kernel::faultLocked(kern::Thread &thread, VmMap &map, pmap::Pmap &pmap,
             } else if (write) {
                 // Copy-on-write resolution: pull a private copy up into
                 // the top object.
-                const Pfn copy = machine_->mem().allocFrame();
+                const Pfn copy = allocPlacedFrame(thread, offset);
                 machine_->mem().copyFrame(copy, found.page->pfn);
                 // The page copy runs at splvm (interrupts masked).
                 kernelSection(thread, cfg.page_copy_cost);
@@ -185,7 +248,8 @@ Kernel::faultLocked(kern::Thread &thread, VmMap &map, pmap::Pmap &pmap,
                 // Revalidate: the world may have changed while asleep.
                 if (pager_->contains(bottom->id(), bottom_offset) &&
                     bottom->lookupLocal(bottom_offset) == nullptr) {
-                    const Pfn frame = machine_->mem().allocFrame();
+                    const Pfn frame =
+                        allocPlacedFrame(thread, bottom_offset);
                     pager_->pageIn(bottom->id(), bottom_offset, frame);
                     bottom->insertPage(bottom_offset, frame);
                     pageable_.push_back({bottom, bottom_offset});
@@ -193,7 +257,7 @@ Kernel::faultLocked(kern::Thread &thread, VmMap &map, pmap::Pmap &pmap,
                 continue; // Retry the whole lookup.
             }
 
-            const Pfn frame = machine_->mem().allocFrame();
+            const Pfn frame = allocPlacedFrame(thread, offset);
             // Zero-filling runs at splvm (interrupts masked).
             kernelSection(thread, cfg.zero_fill_cost);
             if (top->lookupLocal(offset) != nullptr) {
@@ -212,6 +276,7 @@ Kernel::faultLocked(kern::Thread &thread, VmMap &map, pmap::Pmap &pmap,
             }
         }
 
+        notePlacement(thread, *page);
         pmap.enter(thread, vaToVpn(va), page->pfn, grant);
         return true;
     }

@@ -37,6 +37,11 @@ struct VmPage
      * than re-map a frame that is about to be freed.
      */
     bool busy = false;
+    /**
+     * Faults taken on this page from a node other than the frame's,
+     * since the last migration (Migrate placement policy only).
+     */
+    std::uint16_t remote_faults = 0;
 };
 
 /** Result of a shadow-chain lookup. */

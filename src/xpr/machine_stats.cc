@@ -28,6 +28,7 @@ MachineStats::capture(vm::Kernel &kernel)
         out.tlb_single_invalidates = cpu.tlb().single_invalidates;
         out.interrupts_taken = cpu.interrupts_taken;
         out.faults_taken = cpu.faults_taken;
+        out.remote_mem_accesses = cpu.remote_mem_accesses;
     }
 
     const pmap::ShootdownController &shoot = kernel.pmaps().shoot();
@@ -38,6 +39,11 @@ MachineStats::capture(vm::Kernel &kernel)
     stats.idle_drains = shoot.idle_drains;
     stats.queue_overflows = shoot.queue_overflows;
     stats.remote_invalidates = shoot.remote_invalidates;
+    stats.cross_node_ipis = shoot.cross_node_ipis;
+    stats.forwarded_ipis = shoot.forwarded_ipis;
+    stats.remote_faults = kernel.remote_faults;
+    stats.local_faults = kernel.local_faults;
+    stats.page_migrations = kernel.page_migrations;
 
     stats.faults_resolved = kernel.faults_resolved;
     stats.faults_failed = kernel.faults_failed;
@@ -66,6 +72,7 @@ MachineStats::since(const MachineStats &earlier) const
         out.tlb_single_invalidates -= then.tlb_single_invalidates;
         out.interrupts_taken -= then.interrupts_taken;
         out.faults_taken -= then.faults_taken;
+        out.remote_mem_accesses -= then.remote_mem_accesses;
     }
     diff.shootdowns_initiated -= earlier.shootdowns_initiated;
     diff.delayed_waits -= earlier.delayed_waits;
@@ -74,6 +81,11 @@ MachineStats::since(const MachineStats &earlier) const
     diff.idle_drains -= earlier.idle_drains;
     diff.queue_overflows -= earlier.queue_overflows;
     diff.remote_invalidates -= earlier.remote_invalidates;
+    diff.cross_node_ipis -= earlier.cross_node_ipis;
+    diff.forwarded_ipis -= earlier.forwarded_ipis;
+    diff.remote_faults -= earlier.remote_faults;
+    diff.local_faults -= earlier.local_faults;
+    diff.page_migrations -= earlier.page_migrations;
     diff.faults_resolved -= earlier.faults_resolved;
     diff.faults_failed -= earlier.faults_failed;
     diff.cow_copies -= earlier.cow_copies;
@@ -96,6 +108,7 @@ MachineStats::totals() const
         total.tlb_single_invalidates += cpu.tlb_single_invalidates;
         total.interrupts_taken += cpu.interrupts_taken;
         total.faults_taken += cpu.faults_taken;
+        total.remote_mem_accesses += cpu.remote_mem_accesses;
     }
     return total;
 }
@@ -148,6 +161,26 @@ MachineStats::report() const
                   static_cast<unsigned long long>(remote_invalidates),
                   static_cast<unsigned long long>(delayed_waits));
     out += buf;
+    if (cross_node_ipis + forwarded_ipis + remote_faults +
+            local_faults + page_migrations + total.remote_mem_accesses >
+        0) {
+        const std::uint64_t faults = remote_faults + local_faults;
+        std::snprintf(
+            buf, sizeof(buf),
+            "  numa: %llu cross-node IPIs, %llu forwarded IPIs, "
+            "%llu remote accesses, %llu/%llu remote faults (%.1f%%), "
+            "%llu migrations\n",
+            static_cast<unsigned long long>(cross_node_ipis),
+            static_cast<unsigned long long>(forwarded_ipis),
+            static_cast<unsigned long long>(total.remote_mem_accesses),
+            static_cast<unsigned long long>(remote_faults),
+            static_cast<unsigned long long>(faults),
+            faults ? 100.0 * static_cast<double>(remote_faults) /
+                         static_cast<double>(faults)
+                   : 0.0,
+            static_cast<unsigned long long>(page_migrations));
+        out += buf;
+    }
     return out;
 }
 

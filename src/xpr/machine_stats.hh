@@ -34,6 +34,7 @@ struct CpuStats
     std::uint64_t tlb_single_invalidates = 0;
     std::uint64_t interrupts_taken = 0;
     std::uint64_t faults_taken = 0;
+    std::uint64_t remote_mem_accesses = 0;
 
     double
     hitRatio() const
@@ -56,6 +57,14 @@ struct MachineStats
     std::uint64_t idle_drains = 0;
     std::uint64_t queue_overflows = 0;
     std::uint64_t remote_invalidates = 0;
+
+    // NUMA interconnect (all zero on single-node machines; kept out of
+    // runDigest so single-node goldens are unaffected).
+    std::uint64_t cross_node_ipis = 0;
+    std::uint64_t forwarded_ipis = 0;
+    std::uint64_t remote_faults = 0;
+    std::uint64_t local_faults = 0;
+    std::uint64_t page_migrations = 0;
 
     // VM system.
     std::uint64_t faults_resolved = 0;

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * CpuSet: the wide shoot-set / in-use-set representation.
+ *
+ * The original Multimax stopped at 16 processors; the NUMA topology
+ * layer composes machines past that, so every set of CPUs in the tree
+ * must behave identically at 17, 64, and 128 members -- the shapes
+ * that cross the old 16-bit mask, fill one 64-bit word, and span
+ * multiple words.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/cpuset.hh"
+
+namespace
+{
+
+using mach::CpuId;
+using mach::CpuSet;
+
+std::vector<CpuId>
+members(const CpuSet &set)
+{
+    std::vector<CpuId> out;
+    set.forEach([&](CpuId id) { out.push_back(id); });
+    return out;
+}
+
+TEST(CpuSet, StartsEmpty)
+{
+    CpuSet set;
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.count(), 0u);
+    EXPECT_EQ(set.first(), CpuSet::kMaxCpus);
+    EXPECT_EQ(set.format(), "{}");
+}
+
+TEST(CpuSet, SetClearTestAssign)
+{
+    CpuSet set;
+    set.set(0);
+    set.set(16); // First id beyond the paper's 16-bit mask.
+    set.set(63);
+    set.set(64); // First id in the second word.
+    set.set(127);
+    EXPECT_TRUE(set.test(0));
+    EXPECT_TRUE(set.test(16));
+    EXPECT_TRUE(set.test(63));
+    EXPECT_TRUE(set.test(64));
+    EXPECT_TRUE(set.test(127));
+    EXPECT_FALSE(set.test(1));
+    EXPECT_FALSE(set.test(65));
+    EXPECT_EQ(set.count(), 5u);
+
+    set.clear(64);
+    EXPECT_FALSE(set.test(64));
+    EXPECT_EQ(set.count(), 4u);
+
+    set.assign(64, true);
+    EXPECT_TRUE(set.test(64));
+    set.assign(64, false);
+    EXPECT_FALSE(set.test(64));
+
+    set.clearAll();
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(CpuSet, FullMachineShapes)
+{
+    for (unsigned ncpus : {17u, 64u, 128u}) {
+        CpuSet set;
+        for (CpuId id = 0; id < ncpus; ++id)
+            set.set(id);
+        EXPECT_EQ(set.count(), ncpus) << "ncpus=" << ncpus;
+        EXPECT_EQ(set.first(), 0u);
+        for (CpuId id = 0; id < ncpus; ++id)
+            EXPECT_TRUE(set.test(id)) << "ncpus=" << ncpus
+                                      << " id=" << id;
+        EXPECT_FALSE(set.test(ncpus));
+
+        // Iteration order is ascending id -- the order the shootdown
+        // protocol's send loops (and the determinism digests) rely on.
+        const std::vector<CpuId> got = members(set);
+        ASSERT_EQ(got.size(), ncpus);
+        for (CpuId id = 0; id < ncpus; ++id)
+            EXPECT_EQ(got[id], id);
+    }
+}
+
+TEST(CpuSet, SetOperations)
+{
+    CpuSet a, b;
+    for (CpuId id = 0; id < 128; id += 2)
+        a.set(id); // evens
+    for (CpuId id = 0; id < 128; id += 3)
+        b.set(id); // multiples of 3
+
+    CpuSet uni = a;
+    uni |= b;
+    CpuSet inter = a;
+    inter &= b;
+
+    for (CpuId id = 0; id < 128; ++id) {
+        EXPECT_EQ(uni.test(id), id % 2 == 0 || id % 3 == 0);
+        EXPECT_EQ(inter.test(id), id % 6 == 0);
+    }
+
+    CpuSet copy = a;
+    EXPECT_TRUE(copy == a);
+    copy.clear(0);
+    EXPECT_FALSE(copy == a);
+}
+
+TEST(CpuSet, FirstSkipsLeadingWords)
+{
+    CpuSet set;
+    set.set(100);
+    set.set(900);
+    EXPECT_EQ(set.first(), 100u);
+    set.clear(100);
+    EXPECT_EQ(set.first(), 900u);
+}
+
+TEST(CpuSet, FormatCollapsesRuns)
+{
+    CpuSet set;
+    for (CpuId id = 0; id <= 3; ++id)
+        set.set(id);
+    set.set(8);
+    for (CpuId id = 12; id <= 15; ++id)
+        set.set(id);
+    EXPECT_EQ(set.format(), "{0-3,8,12-15}");
+
+    // A run of exactly two prints as a pair, not a dash range.
+    CpuSet pair;
+    pair.set(5);
+    pair.set(6);
+    EXPECT_EQ(pair.format(), "{5,6}");
+
+    // Wide-machine ids format past the old 16-CPU ceiling.
+    CpuSet wide;
+    for (CpuId id = 16; id < 128; ++id)
+        wide.set(id);
+    EXPECT_EQ(wide.format(), "{16-127}");
+}
+
+TEST(CpuSet, BoundaryIds)
+{
+    CpuSet set;
+    set.set(CpuSet::kMaxCpus - 1);
+    EXPECT_TRUE(set.test(CpuSet::kMaxCpus - 1));
+    EXPECT_EQ(set.count(), 1u);
+    EXPECT_EQ(set.first(), CpuSet::kMaxCpus - 1);
+    EXPECT_EQ(members(set).back(), CpuSet::kMaxCpus - 1);
+}
+
+} // namespace

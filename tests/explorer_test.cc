@@ -237,4 +237,60 @@ TEST(BrokenProtocol, ExplorerCatchesSkippedResponderStall)
                                        : healthy.violations.front());
 }
 
+TEST(BrokenProtocol, ExplorerCatchesStaleReplicaSync)
+{
+    const chk::Scenario broken = chk::brokenReplicaScenario();
+    chk::Explorer explorer;
+    // The replica-sync window is a single initiator event per revoke
+    // round, so the systematic sweep needs to reach it: give it a
+    // deeper budget than the defaults.
+    chk::ExploreOptions opt;
+    opt.systematic_budget = 200;
+    opt.random_budget = 400;
+    const chk::ExploreResult res = explorer.explore(broken, opt);
+
+    ASSERT_FALSE(res.baseline_failed)
+        << "planted bug should be schedule-dependent, but the "
+           "baseline already failed: "
+        << res.baseline.note;
+    ASSERT_GT(res.failures, 0u)
+        << "explorer missed the planted stale-replica bug";
+
+    // The failure is a stale translation reloaded from a lagging
+    // node-local replica: the oracle's TLB-vs-primary audit flags it
+    // and/or a write lands through the revoked mapping.
+    EXPECT_TRUE(res.first_failure.violation_count > 0 ||
+                !res.first_failure.predicate_ok)
+        << "unexpected failure mode (liveness?)";
+
+    // Minimization produced a no-larger, still-failing reproducer.
+    ASSERT_FALSE(res.minimized_schedule.empty());
+    EXPECT_GE(res.minimized.size(), 1u);
+    EXPECT_LE(res.minimized.size(), res.first_failing.size());
+    EXPECT_TRUE(res.minimized_result.failed());
+
+    // The string round-trips and replays the failure bit-exactly.
+    SchedulePerturber replay;
+    std::string error;
+    ASSERT_TRUE(SchedulePerturber::parse(res.minimized_schedule,
+                                         &replay, &error))
+        << error;
+    EXPECT_EQ(replay.format(), res.minimized_schedule);
+    const chk::TrialResult once = explorer.runTrial(broken, replay);
+    const chk::TrialResult twice = explorer.runTrial(broken, replay);
+    EXPECT_TRUE(once.failed());
+    EXPECT_EQ(once.digest, twice.digest);
+
+    // Healthy replicas (fan-out under the pmap lock) shrug off the
+    // same adversarial schedule.
+    const std::vector<chk::Scenario> library = chk::builtinScenarios();
+    const chk::Scenario *fixed =
+        chk::findScenario(library, "numa-replicas");
+    ASSERT_NE(fixed, nullptr);
+    const chk::TrialResult healthy = explorer.runTrial(*fixed, replay);
+    EXPECT_FALSE(healthy.failed())
+        << (healthy.violations.empty() ? healthy.note
+                                       : healthy.violations.front());
+}
+
 } // namespace

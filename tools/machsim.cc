@@ -93,6 +93,15 @@ struct Options
     std::string flight_recorder;
     /** Print the paper-style xpr distribution rows per --repeat seed. */
     bool xpr_rows = false;
+    // NUMA topology (see docs/NUMA.md).
+    unsigned numa_nodes = 1;
+    /** When nonzero, ncpus = numa_nodes * cpus_per_node. */
+    unsigned cpus_per_node = 0;
+    /** Uniform remote distance ("25") or full matrix ("10,25;25,10"). */
+    std::string distance;
+    std::string placement = "first-touch";
+    unsigned migrate_threshold = 4;
+    bool pt_replicas = false;
 };
 
 /** Counter-sampling period after resolving the "auto" sentinel. */
@@ -122,12 +131,24 @@ void
 usage()
 {
     std::printf(
-        "machsim -- simulated-Multimax workload driver\n\n"
-        "  --app NAME          tester | mach-build | parthenon | "
-        "agora | camelot\n"
+        "machsim -- simulated-Multimax workload driver\n"
+        "\nsimulator:\n"
         "  --ncpus N           processors (default 16)\n"
         "  --pools N           Section 8 kernel pools (default 1)\n"
         "  --seed N            deterministic seed\n"
+        "  --lazy on|off       lazy evaluation (Table 1 toggle)\n"
+        "  --no-shootdown      disable the algorithm (negative test)\n"
+        "  --strategy S        shootdown | delayed-flush (Section 3)\n"
+        "  --hipri-ipi         Section 9 high-priority sw interrupt\n"
+        "  --multicast / --broadcast     Section 9 IPI options\n"
+        "  --software-reload / --no-writeback / --remote-invalidate\n"
+        "                      Section 9 TLB options\n"
+        "  --asid-tags         Section 10 tagged-TLB extension\n"
+        "  --tlb-assoc N       set-associative TLB with N ways (0 =\n"
+        "                      fully associative, the Multimax default)\n"
+        "\nworkload:\n"
+        "  --app NAME          tester | mach-build | parthenon | "
+        "agora | camelot\n"
         "  --children N        tester child threads (default 8)\n"
         "  --build-jobs N      mach-build compile jobs (default 48)\n"
         "  --transactions N    camelot transactions (default 200)\n"
@@ -141,17 +162,7 @@ usage()
         "                      aggregate stats)\n"
         "  --seed-base N       first seed of a --repeat batch\n"
         "                      (default --seed)\n"
-        "  --lazy on|off       lazy evaluation (Table 1 toggle)\n"
-        "  --no-shootdown      disable the algorithm (negative test)\n"
-        "  --strategy S        shootdown | delayed-flush (Section 3)\n"
-        "  --hipri-ipi         Section 9 high-priority sw interrupt\n"
-        "  --multicast / --broadcast     Section 9 IPI options\n"
-        "  --software-reload / --no-writeback / --remote-invalidate\n"
-        "                      Section 9 TLB options\n"
-        "  --asid-tags         Section 10 tagged-TLB extension\n"
-        "  --tlb-assoc N       set-associative TLB with N ways (0 =\n"
-        "                      fully associative, the Multimax default)\n"
-        "  --trace SPEC        e.g. shootdown,pmap,vm (to stderr)\n"
+        "\nchecker:\n"
         "  --schedule STR      replay a perturbation schedule (the\n"
         "                      checker's e<seq>+<ticks>,b<n>+<ticks>\n"
         "                      format; see docs/CHECKER.md)\n"
@@ -161,6 +172,8 @@ usage()
         "                      workload (oracle always attached)\n"
         "  --scenario NAME     which scenario --app chk runs; 'list'\n"
         "                      prints the library\n"
+        "\nobservability:\n"
+        "  --trace SPEC        e.g. shootdown,pmap,vm (to stderr)\n"
         "  --trace-json FILE   write the run's timeline (spans,\n"
         "                      instants, counters) as Chrome Trace\n"
         "                      Event JSON -- open in Perfetto or\n"
@@ -180,7 +193,23 @@ usage()
         "                      failed chk trial)\n"
         "  --xpr               print the paper-style initiator/\n"
         "                      responder distribution rows for every\n"
-        "                      seed of a --repeat batch\n");
+        "                      seed of a --repeat batch\n"
+        "\nnuma (docs/NUMA.md):\n"
+        "  --numa N            NUMA nodes (default 1 = flat bus);\n"
+        "                      each node gets its own bus and memory\n"
+        "                      partition, cross-node shootdowns go\n"
+        "                      through per-node delegates\n"
+        "  --cpus-per-node N   with --numa, sets --ncpus to N per\n"
+        "                      node (max 16 per node)\n"
+        "  --distance D        uniform remote SLIT distance (e.g. 25;\n"
+        "                      local is 10) or a full ;-separated\n"
+        "                      matrix like \"10,25;25,10\"\n"
+        "  --placement P       first-touch | interleave | migrate\n"
+        "  --migrate-threshold N   remote faults on a page before the\n"
+        "                      migrate policy copies it (default 4)\n"
+        "  --pt-replicas       numaPTE-style per-node page-table\n"
+        "                      replicas, kept coherent by the\n"
+        "                      shootdown machinery\n");
 }
 
 bool
@@ -265,6 +294,21 @@ parse(int argc, char **argv, Options *opt)
             opt->flight_recorder = need_value(i);
         } else if (flag == "--xpr") {
             opt->xpr_rows = true;
+        } else if (flag == "--numa") {
+            opt->numa_nodes =
+                static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--cpus-per-node") {
+            opt->cpus_per_node =
+                static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--distance") {
+            opt->distance = need_value(i);
+        } else if (flag == "--placement") {
+            opt->placement = need_value(i);
+        } else if (flag == "--migrate-threshold") {
+            opt->migrate_threshold =
+                static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--pt-replicas") {
+            opt->pt_replicas = true;
         } else {
             fatal("unknown flag '%s' (try --help)", flag.c_str());
         }
@@ -295,6 +339,33 @@ toConfig(const Options &opt)
             hw::ConsistencyStrategy::DelayedFlush;
         config.tlb_no_refmod_writeback = true;
     }
+    config.numa_nodes = opt.numa_nodes;
+    if (opt.cpus_per_node != 0)
+        config.ncpus = opt.numa_nodes * opt.cpus_per_node;
+    if (!opt.distance.empty()) {
+        // A bare number is a uniform remote distance; anything else is
+        // a full ;-separated matrix handed to the topology parser.
+        if (opt.distance.find_first_not_of("0123456789") ==
+            std::string::npos) {
+            config.numa_remote_distance = static_cast<unsigned>(
+                atoi(opt.distance.c_str()));
+        } else {
+            config.numa_distance_spec = opt.distance;
+        }
+    }
+    if (opt.placement == "first-touch") {
+        config.numa_placement = hw::PlacementPolicy::FirstTouch;
+    } else if (opt.placement == "interleave") {
+        config.numa_placement = hw::PlacementPolicy::Interleave;
+    } else if (opt.placement == "migrate") {
+        config.numa_placement = hw::PlacementPolicy::Migrate;
+    } else {
+        fatal("unknown --placement '%s' (first-touch | interleave | "
+              "migrate)",
+              opt.placement.c_str());
+    }
+    config.numa_migrate_threshold = opt.migrate_threshold;
+    config.numa_pt_replicas = opt.pt_replicas;
     return config;
 }
 
@@ -503,12 +574,16 @@ runCheckerScenario(const Options &opt,
                         s.summary.c_str());
         std::printf("%-22s %s\n", "broken-stall",
                     chk::brokenStallScenario().summary.c_str());
+        std::printf("%-22s %s\n", "broken-replica",
+                    chk::brokenReplicaScenario().summary.c_str());
         return 0;
     }
     const chk::Scenario broken = chk::brokenStallScenario();
+    const chk::Scenario broken_replica = chk::brokenReplicaScenario();
     const chk::Scenario *scenario =
-        opt.scenario == broken.name
-            ? &broken
+        opt.scenario == broken.name ? &broken
+        : opt.scenario == broken_replica.name
+            ? &broken_replica
             : chk::findScenario(library, opt.scenario);
     if (scenario == nullptr)
         fatal("unknown --scenario '%s' (try --scenario list)",
@@ -609,9 +684,15 @@ main(int argc, char **argv)
                 std::make_unique<obs::Sampler>(kernel, statsInterval(opt));
     }
 
-    std::printf("machsim: %s on %u CPUs (seed 0x%llx)\n",
-                opt.app.c_str(), opt.ncpus,
-                static_cast<unsigned long long>(opt.seed));
+    if (opt.numa_nodes > 1)
+        std::printf("machsim: %s on %u CPUs / %u nodes (seed 0x%llx)\n",
+                    opt.app.c_str(), kernel.machine().ncpus(),
+                    opt.numa_nodes,
+                    static_cast<unsigned long long>(opt.seed));
+    else
+        std::printf("machsim: %s on %u CPUs (seed 0x%llx)\n",
+                    opt.app.c_str(), kernel.machine().ncpus(),
+                    static_cast<unsigned long long>(opt.seed));
     if (!perturber.empty())
         std::printf("schedule: %s (%zu directive(s))\n",
                     perturber.format().c_str(), perturber.size());
