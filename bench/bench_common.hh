@@ -6,11 +6,13 @@
 #ifndef MACH_BENCH_BENCH_COMMON_HH
 #define MACH_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/agora.hh"
@@ -116,6 +118,33 @@ benchJobs()
         return 1;
     const int value = std::atoi(env);
     return value >= 1 ? static_cast<unsigned>(value) : 1;
+}
+
+/** Host hardware threads (1 when the runtime cannot tell). */
+inline unsigned
+hostCores()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n != 0 ? n : 1;
+}
+
+/**
+ * Effective farm width for a bench that would like @p requested
+ * workers. An explicit MACH_BENCH_JOBS always wins (the per-bench
+ * farm opt-in/opt-out knob); otherwise the request is clamped to the
+ * host's core count -- a farmed sweep is pure simulation with no
+ * shared prefix to reuse, so oversubscribing cores only adds
+ * context-switch thrash and measures as a slowdown (the bench_sweep
+ * 0.90x regression on a 1-core host). A clamped width of 1 means
+ * "farming cannot win here": benches should take their serial path
+ * and say so.
+ */
+inline unsigned
+farmWidth(unsigned requested)
+{
+    if (std::getenv("MACH_BENCH_JOBS") != nullptr)
+        return benchJobs();
+    return std::min(requested, hostCores());
 }
 
 /**

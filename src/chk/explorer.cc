@@ -212,9 +212,6 @@ decodeTrial(const std::string &s, TrialResult *out)
 constexpr std::size_t kFlightRingCapacity = 16384;
 
 constexpr std::uint64_t kSnapshotMargin = 512;
-/** Below this many shared prefix events the skipped work does not
- *  cover the per-probe fork/pipe overhead: run the batch normally. */
-constexpr std::uint64_t kMinPrefixEvents = 4096;
 
 /**
  * Try to run @p probes off one fork-style prefix snapshot: simulate
@@ -228,7 +225,8 @@ constexpr std::uint64_t kMinPrefixEvents = 4096;
 void
 runSnapshotBatch(const Scenario &scenario,
                  const std::vector<SchedulePerturber> &probes,
-                 unsigned jobs, std::vector<TrialResult> &results,
+                 unsigned jobs, std::uint64_t snapshot_floor,
+                 std::vector<TrialResult> &results,
                  std::vector<char> &done)
 {
     constexpr std::uint64_t kNone = ~std::uint64_t{0};
@@ -257,8 +255,9 @@ runSnapshotBatch(const Scenario &scenario,
     TrialHarness harness(scenario);
     const kern::Machine::PrefixRun prefix =
         harness.kernel.machine().runPrefix(ew, bw, scenario.bound);
-    if (!prefix.parked || prefix.events < kMinPrefixEvents)
+    if (!prefix.parked || prefix.events < snapshot_floor)
         return; // run completed (must not resume) or prefix too thin
+                // (FarmOptions::snapshot_floor, default 4096)
 
     const std::uint64_t park_events =
         harness.kernel.machine().ctx().queue().scheduledCount();
@@ -344,7 +343,8 @@ Explorer::runTrials(const Scenario &scenario,
     std::vector<char> done(probes.size(), 0);
 
     if (farm_.snapshots && farm::forkAvailable() && probes.size() >= 2)
-        runSnapshotBatch(scenario, probes, farm_.jobs, results, done);
+        runSnapshotBatch(scenario, probes, farm_.jobs,
+                         farm_.snapshot_floor, results, done);
 
     std::vector<std::function<void()>> jobs;
     for (std::size_t i = 0; i < probes.size(); ++i) {

@@ -27,8 +27,18 @@ struct FarmOptions
     bool snapshots = true;
 
     /**
+     * Minimum shared-prefix length (in events) before a probe batch
+     * is worth fork-snapshotting: below it the re-simulation skipped
+     * per probe does not cover the fork/pipe overhead. 0 snapshots
+     * unconditionally. Like snapshots, this is purely a host-speed
+     * policy -- results are byte-identical at any floor.
+     */
+    std::uint64_t snapshot_floor = 4096;
+
+    /**
      * Options from the environment: MACH_FARM_JOBS (width, default
-     * @p fallback_jobs) and MACH_FARM_SNAPSHOTS (0 disables).
+     * @p fallback_jobs), MACH_FARM_SNAPSHOTS (0 disables), and
+     * MACH_FARM_SNAPSHOT_FLOOR (prefix-events floor for snapshots).
      */
     static FarmOptions fromEnv(unsigned fallback_jobs = 1)
     {
@@ -36,6 +46,9 @@ struct FarmOptions
         opt.jobs = defaultJobs(fallback_jobs);
         if (const char *env = std::getenv("MACH_FARM_SNAPSHOTS"))
             opt.snapshots = env[0] != '0';
+        if (const char *env =
+                std::getenv("MACH_FARM_SNAPSHOT_FLOOR"))
+            opt.snapshot_floor = std::strtoull(env, nullptr, 0);
         return opt;
     }
 };

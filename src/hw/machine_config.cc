@@ -37,6 +37,9 @@ MachineConfig::validate() const
               "divide tlb_entries (%u)",
               tlb_associativity, tlb_entries);
     }
+    if (tlb_l0_entries > 4)
+        fatal("MachineConfig: tlb_l0_entries (%u) out of range [0,4]",
+              tlb_l0_entries);
     if (action_queue_size == 0)
         fatal("MachineConfig: action queue must hold at least one entry");
     if (multicast_ipi && broadcast_ipi)

@@ -120,6 +120,26 @@ struct MachineConfig
     unsigned tlb_associativity = 0;
 
     /**
+     * Host-side L0 last-translation cache in front of the indexed TLB:
+     * the most recent N (space, vpn) translations are served without
+     * probing the index at all. Purely a host-speed device -- hits and
+     * misses, simulated costs, and replacement decisions are identical
+     * to the indexed probe, and the stale-translation oracle audits the
+     * L0's servable translations exactly like TLB entries. 0 disables
+     * (machsim --no-l0); at most 4 slots.
+     */
+    unsigned tlb_l0_entries = 4;
+
+    /**
+     * Host-side page-walk cache: PageTable::walk()/pteAddr() remember
+     * which leaf table each valid root entry points at, skipping the
+     * root-level memory read on the host. The walker is still charged
+     * for both level reads in simulated time (WalkResult.memory_reads
+     * is unchanged), so this is timing-neutral like tlb_l0_entries.
+     */
+    bool host_walk_cache = true;
+
+    /**
      * Invalidation policy threshold (Section 4, omitted detail 1):
      * beyond this many pages it is cheaper to flush the whole buffer
      * than to invalidate individual entries.
@@ -352,6 +372,16 @@ struct MachineConfig
      * protocols (see docs/CHECKER.md); never set it outside tests.
      */
     bool chk_skip_responder_stall = false;
+
+    /**
+     * TEST ONLY -- plant an L0-cache bug: the host-side L0 translation
+     * cache skips its invalidation maintenance, so flushes and entry
+     * retirements leave it serving stale translations. Exists so tests
+     * can prove the stale-translation oracle audits the L0 for real
+     * (a missed invalidation is a checker failure, not a silent wrong
+     * answer); never set it outside tests.
+     */
+    bool chk_skip_l0_invalidate = false;
 
     // ---- NUMA topology (src/numa) ------------------------------------
 

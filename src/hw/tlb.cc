@@ -1,5 +1,7 @@
 #include "hw/tlb.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "obs/recorder.hh"
 
@@ -23,6 +25,9 @@ nextPow2(std::uint32_t v)
 Tlb::Tlb(const MachineConfig *config, PhysMem *mem)
     : config_(config), mem_(mem), entries_(config->tlb_entries)
 {
+    l0_size_ = std::min(config->tlb_l0_entries, kL0MaxEntries);
+    for (L0Slot &slot : l0_)
+        slot = {kNoL0Key, 0};
     if (setAssociative()) {
         MACH_ASSERT(config->tlb_entries % config->tlb_associativity ==
                     0);
@@ -85,11 +90,71 @@ Tlb::spaceSlot(SpaceId space)
     return it->second;
 }
 
+void
+Tlb::l0Fill(std::uint64_t key, std::uint32_t entry_index)
+{
+    if (l0_size_ == 0)
+        return;
+    l0_[l0_fill_] = {key, entry_index};
+    if (++l0_fill_ >= l0_size_)
+        l0_fill_ = 0;
+}
+
+void
+Tlb::l0ClearKey(std::uint64_t key)
+{
+    if (config_->chk_skip_l0_invalidate)
+        return;
+    for (unsigned i = 0; i < l0_size_; ++i) {
+        if (l0_[i].key == key)
+            l0_[i].key = kNoL0Key;
+    }
+}
+
+void
+Tlb::l0ClearSpace(SpaceId space)
+{
+    if (config_->chk_skip_l0_invalidate)
+        return;
+    for (unsigned i = 0; i < l0_size_; ++i) {
+        if ((l0_[i].key >> 32) == space)
+            l0_[i].key = kNoL0Key;
+    }
+}
+
+void
+Tlb::l0ClearAll()
+{
+    if (config_->chk_skip_l0_invalidate)
+        return;
+    for (unsigned i = 0; i < l0_size_; ++i)
+        l0_[i].key = kNoL0Key;
+}
+
 TlbEntry *
 Tlb::find(SpaceId space, Vpn vpn)
 {
-    if (live_count_ == 0)
+    // L0 fast path: a populated slot is live by invariant (every
+    // retire/flush path clears the matching slots), so a key match is
+    // the whole probe -- no hashing, no generation checks.
+    const std::uint64_t key = l0Key(space, vpn);
+    for (unsigned i = 0; i < l0_size_; ++i) {
+        if (l0_[i].key == key) {
+            ++l0_hits;
+            return &entries_[l0_[i].entry];
+        }
+    }
+    // Negative fast path: a key that just missed cannot have appeared
+    // since (only fillEntry adds live entries, and it clears the memo).
+    // Covers the second probe of every lookup-miss + insert pair.
+    if (key == last_miss_key_)
         return nullptr;
+    if (l0_size_ != 0)
+        ++l0_misses;
+    if (live_count_ == 0) {
+        last_miss_key_ = key;
+        return nullptr;
+    }
     if (setAssociative()) {
         const unsigned ways = config_->tlb_associativity;
         const std::size_t set =
@@ -98,23 +163,31 @@ Tlb::find(SpaceId space, Vpn vpn)
         for (unsigned way = 0; way < ways; ++way) {
             TlbEntry &entry = base[way];
             if (entryLive(entry) && entry.space == space &&
-                entry.vpn == vpn)
+                entry.vpn == vpn) {
+                l0Fill(key, static_cast<std::uint32_t>(
+                                &entry - entries_.data()));
                 return &entry;
+            }
         }
+        last_miss_key_ = key;
         return nullptr;
     }
     std::uint32_t slot =
         static_cast<std::uint32_t>(hashKey(space, vpn)) & index_mask_;
     for (;; slot = (slot + 1) & index_mask_) {
         const std::uint32_t ei = index_[slot];
-        if (ei == kEmptySlot)
+        if (ei == kEmptySlot) {
+            last_miss_key_ = key;
             return nullptr;
+        }
         TlbEntry &entry = entries_[ei];
         // Stale slots (retired, evicted, or epoch-flushed entries)
         // stay in the chain as tombstones; probe past them.
         if (entryLive(entry) && entry.space == space &&
-            entry.vpn == vpn)
+            entry.vpn == vpn) {
+            l0Fill(key, ei);
             return &entry;
+        }
     }
 }
 
@@ -137,7 +210,11 @@ Tlb::indexInsert(std::uint32_t entry_index)
             index_[slot] = entry_index;
             // Claiming a virgin slot shrinks the empty margin that
             // terminates probes; rebuild before chains degenerate.
-            if (++index_used_ * 4 > 3 * index_.size())
+            // Half occupancy keeps unsuccessful probes (the common
+            // case under churn: every miss walks to an empty slot)
+            // to a couple of steps, and a rebuild costs only a few
+            // ns amortized per insert at this trip point.
+            if (++index_used_ * 2 > index_.size())
                 rebuildIndex();
             return;
         }
@@ -180,6 +257,10 @@ Tlb::retireEntry(TlbEntry &entry)
     --st.live;
     --live_count_;
     entry.valid = false;
+    // Single chokepoint for page invalidations, range invalidations,
+    // interlocked-writeback retirements, and insert evictions: the L0
+    // must never serve an entry that left the live set.
+    l0ClearKey(l0Key(entry.space, entry.vpn));
 }
 
 void
@@ -200,9 +281,13 @@ Tlb::fillEntry(TlbEntry &entry, SpaceId space, Vpn vpn, Pfn pfn,
     entry.space_slot = slot;
     ++st.live;
     ++live_count_;
+    const std::uint32_t entry_index =
+        static_cast<std::uint32_t>(&entry - entries_.data());
     if (!setAssociative())
-        indexInsert(static_cast<std::uint32_t>(&entry -
-                                               entries_.data()));
+        indexInsert(entry_index);
+    l0Fill(l0Key(space, vpn), entry_index);
+    // The only place a missing key can become live: drop the memo.
+    last_miss_key_ = kNoL0Key;
 }
 
 TlbLookup
@@ -343,11 +428,19 @@ Tlb::flushSpace(SpaceId space)
         return;
     SpaceState &st = touchSpace(it->second);
     MACH_ASSERT(live_count_ >= st.live);
+    const unsigned died = st.live;
     live_count_ -= st.live;
     st.live = 0;
     // Entries filled under the old space generation are now dead; no
     // scan needed.
     ++st.flush_gen;
+    l0ClearSpace(space);
+    // A bulk flush turns a big slice of the index into tombstones at
+    // once; every later miss would probe through them until the next
+    // occupancy-triggered rebuild. Rebuilding now is cheaper than the
+    // chains (host-side policy only; pure simulated state is above).
+    if (!setAssociative() && died * 8 >= entries_.size())
+        rebuildIndex();
 }
 
 void
@@ -363,6 +456,13 @@ Tlb::flushAll()
     // normalized lazily the next time each space is touched.
     ++gen_;
     live_count_ = 0;
+    l0ClearAll();
+    // Every index slot is now a tombstone; empty the index so misses
+    // terminate on first probe instead of walking dead chains.
+    if (!setAssociative()) {
+        index_.assign(index_.size(), kEmptySlot);
+        index_used_ = 0;
+    }
 }
 
 bool
@@ -393,6 +493,25 @@ Tlb::entries() const
             entry.valid = false;
     }
     return entries_;
+}
+
+std::vector<TlbEntry>
+Tlb::l0Translations() const
+{
+    std::vector<TlbEntry> out;
+    for (unsigned i = 0; i < l0_size_; ++i) {
+        if (l0_[i].key == kNoL0Key)
+            continue;
+        // Exactly what an L0 hit on this key would serve: the slot's
+        // key with the backing entry's translation, unconditionally
+        // valid (the L0 never revalidates).
+        TlbEntry entry = entries_[l0_[i].entry];
+        entry.valid = true;
+        entry.space = static_cast<SpaceId>(l0_[i].key >> 32);
+        entry.vpn = static_cast<Vpn>(l0_[i].key & 0xffffffffu);
+        out.push_back(entry);
+    }
+    return out;
 }
 
 } // namespace mach::hw

@@ -36,7 +36,17 @@
  *   - with tlb_associativity > 0 the buffer is set-associative
  *     (index = hash of (space, vpn), per-set round-robin victims); the
  *     default 0 keeps the fully-associative global round-robin behavior
- *     of the original Multimax model, bit-for-bit.
+ *     of the original Multimax model, bit-for-bit;
+ *   - an L0 last-translation cache (tlb_l0_entries slots, default 4)
+ *     sits in front of both organizations: the most recent distinct
+ *     (space, vpn) probes resolve by a handful of 64-bit compares with
+ *     no hashing and no index walk. An L0 hit is served WITHOUT
+ *     revalidating against the generations -- the invariant is that a
+ *     slot is populated only while its backing entry is live, and every
+ *     path that retires or flushes entries clears the matching slots.
+ *     A missed invalidation would be a genuine stale-translation bug,
+ *     which is why PmapSystem::auditTlbConsistency() audits the L0's
+ *     servable translations (l0Translations()) exactly like entries().
  */
 
 #ifndef MACH_HW_TLB_HH
@@ -154,6 +164,16 @@ class Tlb
      */
     const std::vector<TlbEntry> &entries() const;
 
+    /**
+     * Every translation the L0 cache would currently serve, as
+     * entry-shaped records (valid always true, key from the slot,
+     * pfn/prot/ref/mod from the backing entry). The consistency audit
+     * checks these against the page tables exactly like entries();
+     * with correct invalidation they are a subset of the live entries,
+     * so the audit only ever fires on a real missed invalidation.
+     */
+    std::vector<TlbEntry> l0Translations() const;
+
     // Event counters for benchmarks and tests.
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -166,6 +186,14 @@ class Tlb
      */
     std::uint64_t full_flushes = 0;
 
+    /**
+     * L0 cache traffic (host-side only; never part of the determinism
+     * digest -- the digest hashes the counters above, whose values are
+     * identical with the L0 on or off).
+     */
+    std::uint64_t l0_hits = 0;
+    std::uint64_t l0_misses = 0;
+
   private:
     /** Bookkeeping for one address space seen by this TLB. */
     struct SpaceState
@@ -176,6 +204,31 @@ class Tlb
     };
 
     static constexpr std::uint32_t kEmptySlot = ~std::uint32_t{0};
+
+    /** L0 slot: a (space, vpn) key and the entry it resolved to. */
+    struct L0Slot
+    {
+        /** (space << 32) | vpn; kNoL0Key marks an empty slot. */
+        std::uint64_t key;
+        std::uint32_t entry; ///< Index into entries_.
+    };
+    static constexpr unsigned kL0MaxEntries = 4;
+    /** Space kNoSpace is reserved and vpns are 20-bit, so no real key
+     *  ever has all 64 bits set. */
+    static constexpr std::uint64_t kNoL0Key = ~std::uint64_t{0};
+
+    static std::uint64_t l0Key(SpaceId space, Vpn vpn)
+    {
+        return (static_cast<std::uint64_t>(space) << 32) | vpn;
+    }
+    /** Populate a slot for a translation that just resolved. */
+    void l0Fill(std::uint64_t key, std::uint32_t entry_index);
+    /** Drop the slot caching @p key, if any (entry retirement). */
+    void l0ClearKey(std::uint64_t key);
+    /** Drop every slot belonging to @p space (flushSpace). */
+    void l0ClearSpace(SpaceId space);
+    /** Drop every slot (flushAll). */
+    void l0ClearAll();
 
     bool setAssociative() const { return config_->tlb_associativity > 0; }
     static std::uint64_t hashKey(SpaceId space, Vpn vpn);
@@ -202,6 +255,21 @@ class Tlb
     PhysMem *mem_;
     std::vector<TlbEntry> entries_;
     unsigned next_victim_ = 0;
+
+    /** L0 slots; only the first l0_size_ are ever used. */
+    L0Slot l0_[kL0MaxEntries];
+    /** Configured slot count (0 = disabled). */
+    unsigned l0_size_ = 0;
+    /** Round-robin refill cursor. */
+    unsigned l0_fill_ = 0;
+    /**
+     * Negative counterpart of the L0: the key of the last find() that
+     * missed. A miss can only turn into a hit through fillEntry (the
+     * one place entries enter the live set), which clears the memo --
+     * so a repeat of the same key (every lookup-miss-then-insert pair)
+     * skips the probe chain entirely. Host-side only.
+     */
+    std::uint64_t last_miss_key_ = kNoL0Key;
 
     /** Buffer generation; bumped by flushAll. */
     std::uint64_t gen_ = 1;

@@ -22,6 +22,8 @@ Pmap::Pmap(PmapSystem *sys, bool is_kernel)
       lock_(is_kernel ? "kernel-pmap" : "user-pmap", hw::SplHigh)
 {
     const hw::MachineConfig &cfg = sys->machine().cfg();
+    if (!cfg.host_walk_cache)
+        table_.setWalkCache(false);
     if (cfg.numa_pt_replicas && sys->machine().numaNodes() > 1) {
         table_.enableReplicas(sys->machine().numaNodes());
         if (cfg.chk_defer_replica_sync)
@@ -410,7 +412,8 @@ PmapSystem::auditTlbConsistency() const
         // the queue before performing any translation.
         if (shoot_->stateFor(id).action_needed)
             continue;
-        for (const hw::TlbEntry &entry : cpu.tlb().entries()) {
+        const std::vector<hw::TlbEntry> live = cpu.tlb().entries();
+        for (const hw::TlbEntry &entry : live) {
             if (!entry.valid)
                 continue;
             const Pmap *pmap = pmapForSpace(entry.space);
@@ -429,6 +432,48 @@ PmapSystem::auditTlbConsistency() const
                 std::snprintf(buf, sizeof(buf),
                               "cpu%u caches vpn 0x%x space %u prot %u "
                               "pfn %u but PTE is 0x%08x",
+                              id, entry.vpn, entry.space,
+                              static_cast<unsigned>(entry.prot),
+                              entry.pfn, pte);
+                violations.emplace_back(buf);
+            }
+        }
+        // The host-side L0 cache serves translations without
+        // revalidating against the indexed TLB, so a missed L0
+        // invalidation is a genuine stale-translation hazard. Audit
+        // everything it would serve with the same checks. Slots that
+        // exactly mirror a live indexed entry are skipped: the loop
+        // above already audited that translation, and with correct L0
+        // maintenance every slot falls in this category.
+        for (const hw::TlbEntry &entry : cpu.tlb().l0Translations()) {
+            bool mirrors_live = false;
+            for (const hw::TlbEntry &backing : live) {
+                if (backing.valid && backing.space == entry.space &&
+                    backing.vpn == entry.vpn &&
+                    backing.pfn == entry.pfn &&
+                    backing.prot == entry.prot) {
+                    mirrors_live = true;
+                    break;
+                }
+            }
+            if (mirrors_live)
+                continue;
+            const Pmap *pmap = pmapForSpace(entry.space);
+            if (pmap == nullptr) {
+                std::snprintf(buf, sizeof(buf),
+                              "cpu%u L0 caches vpn 0x%x for a "
+                              "destroyed space %u",
+                              id, entry.vpn, entry.space);
+                violations.emplace_back(buf);
+                continue;
+            }
+            const std::uint32_t pte = pmap->table().readPte(entry.vpn);
+            if (!hw::pte::valid(pte) ||
+                hw::pte::pfn(pte) != entry.pfn ||
+                !protAllows(hw::pte::prot(pte), entry.prot)) {
+                std::snprintf(buf, sizeof(buf),
+                              "cpu%u L0 caches vpn 0x%x space %u "
+                              "prot %u pfn %u but PTE is 0x%08x",
                               id, entry.vpn, entry.space,
                               static_cast<unsigned>(entry.prot),
                               entry.pfn, pte);

@@ -399,6 +399,47 @@ EventQueue::fireFront()
     return when;
 }
 
+std::uint64_t
+EventQueue::fireTickBatch(Tick until, Tick *now, const bool *stop)
+{
+    if (live_ == 0)
+        return 0;
+    sweepFront();
+    const Tick when = heap_.front().when;
+    if (when > until)
+        return 0;
+    MACH_ASSERT(when >= *now);
+    // Advance the clock before dispatch: event bodies read it as
+    // their own fire time.
+    *now = when;
+    std::uint64_t dispatched = 0;
+    for (;;) {
+        const std::uint32_t slot = takeFront();
+        Node &node = slab_[slot];
+        if (node.raw_fn != nullptr) {
+            const RawFn fn = node.raw_fn;
+            void *ctx = node.raw_ctx;
+            const std::uint64_t token = node.raw_token;
+            releaseNode(slot);
+            fn(ctx, token);
+        } else {
+            Callback cb = std::move(node.cb);
+            releaseNode(slot);
+            cb();
+        }
+        ++dispatched;
+        if (*stop || live_ == 0)
+            break;
+        // A dispatched body may have scheduled or cancelled events at
+        // this very tick; re-sweep so the front is live before
+        // deciding whether the batch continues.
+        sweepFront();
+        if (heap_.front().when != when)
+            break;
+    }
+    return dispatched;
+}
+
 std::size_t
 EventQueue::freeNodeCount() const
 {

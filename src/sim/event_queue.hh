@@ -108,10 +108,29 @@ class EventQueue
 
     /**
      * Remove and invoke the earliest event, returning its scheduled
-     * time. Dispatches raw events directly; this is the run loop's
-     * path. Panics if empty.
+     * time. Dispatches raw events directly. Panics if empty.
      */
     Tick fireFront();
+
+    /**
+     * Dispatch every live event pending at the earliest tick as one
+     * batch -- the run loop's path. One front sweep and one heap
+     * round trip cover the whole tick instead of one per event; order
+     * within the tick is the bucket's FIFO chain, i.e. insertion-
+     * sequence order, so the (time, seq) contract (and with it every
+     * golden digest and perturbation replay) is untouched. Events an
+     * event body schedules *for the current tick* join the same batch,
+     * exactly as repeated fireFront() calls would dispatch them.
+     *
+     * Returns 0 without advancing @p *now when the queue is empty or
+     * the front tick lies beyond @p until. Otherwise stores the
+     * batch's tick into @p *now (asserting it is monotonic) before the
+     * first dispatch and returns the count dispatched. Dispatch stops
+     * after the current event once @p *stop reads true, mirroring the
+     * per-event requestStop() check of the unbatched loop.
+     */
+    std::uint64_t fireTickBatch(Tick until, Tick *now,
+                                const bool *stop);
 
     /** Total events ever scheduled (monotonic; used by micro benches). */
     std::uint64_t scheduledCount() const { return next_seq_ - 1; }

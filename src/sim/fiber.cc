@@ -17,8 +17,8 @@ namespace
  * share fiber state.
  */
 thread_local Fiber *current_fiber = nullptr;
-/** Saved scheduler (main) context to return to on yield. */
-thread_local ucontext_t scheduler_context;
+/** Resume point of the scheduler (main) context, set by resume(). */
+thread_local std::jmp_buf scheduler_env;
 } // namespace
 
 Fiber::Fiber(std::string name, Entry entry, std::size_t stack_size)
@@ -63,24 +63,30 @@ Fiber::resume()
     MACH_ASSERT(current_fiber == nullptr);
     MACH_ASSERT(!finished_);
 
-    if (!started_) {
-        started_ = true;
-        if (getcontext(&context_) != 0)
-            panic("getcontext failed");
-        context_.uc_stack.ss_sp = stack_.data();
-        context_.uc_stack.ss_size = stack_.size();
-        context_.uc_link = &scheduler_context;
-        auto bits =
-            static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(this));
-        makecontext(&context_,
-                    reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
-                    static_cast<unsigned>(bits >> 32),
-                    static_cast<unsigned>(bits & 0xffffffffu));
-    }
-
     current_fiber = this;
-    if (swapcontext(&scheduler_context, &context_) != 0)
-        panic("swapcontext into fiber %s failed", name_.c_str());
+    if (_setjmp(scheduler_env) == 0) {
+        if (!started_) {
+            // First entry: only ucontext can redirect execution onto
+            // the fiber's own fresh stack. setcontext never returns --
+            // the fiber comes back via the _longjmp in
+            // yieldToScheduler, landing in the branch above.
+            started_ = true;
+            if (getcontext(&context_) != 0)
+                panic("getcontext failed");
+            context_.uc_stack.ss_sp = stack_.data();
+            context_.uc_stack.ss_size = stack_.size();
+            context_.uc_link = nullptr;
+            auto bits = static_cast<std::uint64_t>(
+                reinterpret_cast<std::uintptr_t>(this));
+            makecontext(&context_,
+                        reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                        2, static_cast<unsigned>(bits >> 32),
+                        static_cast<unsigned>(bits & 0xffffffffu));
+            setcontext(&context_);
+            panic("setcontext into fiber %s failed", name_.c_str());
+        }
+        std::longjmp(env_, 1);
+    }
     current_fiber = nullptr;
 }
 
@@ -89,8 +95,10 @@ Fiber::yieldToScheduler()
 {
     Fiber *self = current_fiber;
     MACH_ASSERT(self != nullptr);
-    if (swapcontext(&self->context_, &scheduler_context) != 0)
-        panic("swapcontext to scheduler failed");
+    // The blocked-fiber frame below stays alive until the matching
+    // _longjmp(env_) in resume() reenters it.
+    if (_setjmp(self->env_) == 0)
+        std::longjmp(scheduler_env, 1);
 }
 
 } // namespace mach::sim

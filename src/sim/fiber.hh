@@ -1,6 +1,6 @@
 /**
  * @file
- * Cooperative fibers built on ucontext.
+ * Cooperative fibers built on ucontext + setjmp.
  *
  * Every simulated execution context (a kernel thread running on a
  * simulated CPU, an idle loop, a workload driver) is a Fiber. Exactly one
@@ -8,6 +8,14 @@
  * state never needs host-level synchronization; interleaving happens only
  * at explicit simulation points (sim::Context::block and friends), which
  * is what makes every experiment deterministic and replayable.
+ *
+ * ucontext is used only to enter a fresh stack for the first time
+ * (makecontext is the portable way to do that). Every steady-state
+ * switch uses _setjmp/_longjmp instead: swapcontext saves and restores
+ * the signal mask with an rt_sigprocmask syscall per switch, which
+ * dominates switch cost, while _setjmp/_longjmp are pure user-space
+ * register save/restore. The simulator never relies on per-fiber
+ * signal masks, so the two are equivalent here.
  */
 
 #ifndef MACH_SIM_FIBER_HH
@@ -15,6 +23,7 @@
 
 #include <ucontext.h>
 
+#include <csetjmp>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -75,7 +84,10 @@ class Fiber
     std::string name_;
     Entry entry_;
     std::vector<unsigned char> stack_;
+    /** First-entry context (stack setup); unused after start(). */
     ucontext_t context_;
+    /** Resume point of a blocked fiber (set by yieldToScheduler). */
+    std::jmp_buf env_;
     bool started_ = false;
     bool finished_ = false;
 };

@@ -5,7 +5,7 @@
 namespace mach::xpr
 {
 
-Buffer::Buffer(std::size_t capacity) : ring_(capacity)
+Buffer::Buffer(std::size_t capacity) : capacity_(capacity)
 {
     MACH_ASSERT(capacity > 0);
 }
@@ -23,9 +23,17 @@ Buffer::record(const Event &event)
 {
     if (!enabled_)
         return;
+    if (ring_.size() < capacity_) {
+        // Still growing toward the configured capacity; the write
+        // position is the end of the vector by construction.
+        ring_.push_back(event);
+        head_ = ring_.size() == capacity_ ? 0 : ring_.size();
+        ++count_;
+        return;
+    }
     ring_[head_] = event;
-    head_ = (head_ + 1) % ring_.size();
-    if (count_ < ring_.size())
+    head_ = (head_ + 1) % capacity_;
+    if (count_ < capacity_)
         ++count_;
     else
         overflowed_ = true;
@@ -35,6 +43,8 @@ std::vector<Event>
 Buffer::events() const
 {
     std::vector<Event> out;
+    if (count_ == 0)
+        return out;
     out.reserve(count_);
     const std::size_t start =
         (head_ + ring_.size() - count_) % ring_.size();

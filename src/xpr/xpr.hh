@@ -78,10 +78,16 @@ class Buffer
     bool overflowed() const { return overflowed_; }
 
     std::size_t size() const;
-    std::size_t capacity() const { return ring_.size(); }
+    std::size_t capacity() const { return capacity_; }
 
   private:
+    /**
+     * Backing store, grown lazily toward capacity_: the common run
+     * records far fewer events than the configured capacity, so the
+     * tail is never written (or zero-filled at construction).
+     */
     std::vector<Event> ring_;
+    std::size_t capacity_ = 0;
     std::size_t head_ = 0;  ///< Next write position.
     std::size_t count_ = 0; ///< Valid records (<= capacity).
     bool enabled_ = true;

@@ -153,7 +153,8 @@ runDigest(vm::Kernel &kernel)
 
 /** Tester (6 children) followed by a denser 12-child shootdown storm. */
 std::uint64_t
-stormDigest(std::uint64_t seed, bool software_reload)
+stormDigest(std::uint64_t seed, bool software_reload,
+            bool host_caches = true)
 {
     setLogQuiet(true);
     std::uint64_t hash = 0xcbf29ce484222325ull;
@@ -161,6 +162,10 @@ stormDigest(std::uint64_t seed, bool software_reload)
         hw::MachineConfig config;
         config.seed = seed;
         config.tlb_software_reload = software_reload;
+        if (!host_caches) {
+            config.tlb_l0_entries = 0;
+            config.host_walk_cache = false;
+        }
         vm::Kernel kernel(config);
         apps::ConsistencyTester tester(
             {.children = 6, .warmup = 20 * kMsec});
@@ -172,6 +177,10 @@ stormDigest(std::uint64_t seed, bool software_reload)
         hw::MachineConfig config;
         config.seed = seed ^ 0x5702;
         config.tlb_software_reload = software_reload;
+        if (!host_caches) {
+            config.tlb_l0_entries = 0;
+            config.host_walk_cache = false;
+        }
         vm::Kernel kernel(config);
         apps::ConsistencyTester tester(
             {.children = 12, .warmup = 30 * kMsec});
@@ -208,6 +217,25 @@ TEST(DeterminismDigest, StormDigestsMatchGolden)
         EXPECT_EQ(first, second)
             << "seed " << c.seed << " swr " << c.software_reload;
         EXPECT_EQ(first, c.golden)
+            << "seed " << c.seed << " swr " << c.software_reload;
+    }
+}
+
+TEST(DeterminismDigest, HostCachesAreTimingNeutral)
+{
+    // The L0 translation cache and the page-walk cache are host-speed
+    // devices only: disabling both (the machsim --no-l0 switch) must
+    // reproduce the exact golden digests of the cached runs. A digest
+    // divergence here means a cache changed simulated behaviour.
+    const DigestCase cases[] = {
+        {0x1dea1, false, 0xbcf7d61b291003ddull},
+        {0x2bead, true, 0x74e62422e4263b4cull},
+    };
+    for (const DigestCase &c : cases) {
+        const std::uint64_t uncached =
+            stormDigest(c.seed, c.software_reload,
+                        /*host_caches=*/false);
+        EXPECT_EQ(uncached, c.golden)
             << "seed " << c.seed << " swr " << c.software_reload;
     }
 }

@@ -231,6 +231,97 @@ TEST(PageTable, PteAddrMatchesWalk)
 }
 
 // ---------------------------------------------------------------------
+// PageTable walk cache (host-side; simulated costs must not change)
+// ---------------------------------------------------------------------
+
+TEST(WalkCache, CachesLeafBaseWithoutChangingResults)
+{
+    PhysMem mem(128);
+    PageTable table(&mem);
+    table.writePte(0x400, pte::make(9, ProtRead));
+    const WalkResult first = table.walk(0x400);
+    const WalkResult second = table.walk(0x400);
+    EXPECT_GT(table.walkCacheHits(), 0u);
+    EXPECT_EQ(first.pte, second.pte);
+    EXPECT_EQ(first.leaf_present, second.leaf_present);
+    // The simulated cost is still two level reads on a cached walk.
+    EXPECT_EQ(second.memory_reads, 2u);
+}
+
+TEST(WalkCache, PteRewriteIsVisibleThroughCachedLeaf)
+{
+    // Only the root->leaf pointer is cached; the PTE itself is read
+    // from memory every walk, so a revocation on the same leaf is
+    // visible immediately with no cache maintenance.
+    PhysMem mem(128);
+    PageTable table(&mem);
+    table.writePte(7, pte::make(4, ProtReadWrite));
+    EXPECT_TRUE(pte::valid(table.walk(7).pte));
+    table.writePte(7, 0);
+    const WalkResult after = table.walk(7);
+    EXPECT_TRUE(after.leaf_present);
+    EXPECT_FALSE(pte::valid(after.pte));
+}
+
+TEST(WalkCache, CollectInvalidatesCachedLeaves)
+{
+    PhysMem mem(128);
+    PageTable table(&mem);
+    table.writePte(3, pte::make(5, ProtRead));
+    EXPECT_TRUE(pte::valid(table.walk(3).pte));
+    table.collect();
+    // The freed leaf must not be served from the cache: the walk sees
+    // the now-invalid root and charges only the single root read.
+    const WalkResult after = table.walk(3);
+    EXPECT_FALSE(after.leaf_present);
+    EXPECT_EQ(after.memory_reads, 1u);
+    // Faulted back in afterwards, walks resolve the new leaf.
+    table.writePte(3, pte::make(6, ProtRead));
+    EXPECT_EQ(pte::pfn(table.walk(3).pte), 6u);
+}
+
+TEST(WalkCache, DisabledCacheCountsNothingAndAgrees)
+{
+    PhysMem mem(128);
+    PageTable cached(&mem);
+    PageTable plain(&mem);
+    plain.setWalkCache(false);
+    for (Vpn v = 0; v < 64; v += 3) {
+        cached.writePte(v, pte::make(v % 50 + 1, ProtRead));
+        plain.writePte(v, pte::make(v % 50 + 1, ProtRead));
+    }
+    for (Vpn v = 0; v < 64; ++v) {
+        const WalkResult a = cached.walk(v);
+        const WalkResult b = plain.walk(v);
+        EXPECT_EQ(a.pte, b.pte) << "vpn " << v;
+        EXPECT_EQ(a.memory_reads, b.memory_reads) << "vpn " << v;
+    }
+    EXPECT_EQ(plain.walkCacheHits(), 0u);
+    EXPECT_EQ(plain.walkCacheMisses(), 0u);
+}
+
+TEST(WalkCache, ReplicaWalksAreCachedPerNode)
+{
+    PhysMem mem(128, 2);
+    PageTable table(&mem);
+    table.enableReplicas(2);
+    table.writePte(12, pte::make(8, ProtRead));
+    // Both nodes' walks resolve (and cache) their own roots.
+    EXPECT_EQ(pte::pfn(table.walk(12, 0).pte), 8u);
+    EXPECT_EQ(pte::pfn(table.walk(12, 1).pte), 8u);
+    EXPECT_GT(table.walkCacheMisses(), 1u); // One cold walk per node.
+    // collect() frees primary and replica leaves alike; no node's walk
+    // may be served from a cached pointer to a freed leaf.
+    table.collect();
+    EXPECT_FALSE(table.walk(12, 0).leaf_present);
+    EXPECT_FALSE(table.walk(12, 1).leaf_present);
+    // Fault the mapping back in: both nodes resolve the new leaves.
+    table.writePte(12, pte::make(9, ProtRead));
+    EXPECT_EQ(pte::pfn(table.walk(12, 0).pte), 9u);
+    EXPECT_EQ(pte::pfn(table.walk(12, 1).pte), 9u);
+}
+
+// ---------------------------------------------------------------------
 // Tlb
 // ---------------------------------------------------------------------
 
@@ -444,6 +535,142 @@ TEST_F(TlbFixture, FullyAssociativeEvictionIsGlobalRoundRobin)
     for (Vpn v = 1; v < config.tlb_entries; ++v)
         EXPECT_TRUE(tlb.lookup(1, v, ProtRead, 0).hit) << "vpn " << v;
     EXPECT_TRUE(tlb.lookup(1, 1000, ProtRead, 0).hit);
+}
+
+// ---------------------------------------------------------------------
+// L0 translation cache (host-side front of the TLB)
+// ---------------------------------------------------------------------
+
+TEST_F(TlbFixture, L0ServesRepeatedHitsIdentically)
+{
+    tlb.insert(1, 5, 42, ProtRead, false);
+    const TlbLookup first = tlb.lookup(1, 5, ProtRead, 0);
+    const TlbLookup second = tlb.lookup(1, 5, ProtRead, 0);
+    EXPECT_GT(tlb.l0_hits, 0u);
+    EXPECT_EQ(first.hit, second.hit);
+    EXPECT_EQ(first.pfn, second.pfn);
+    EXPECT_EQ(first.prot_ok, second.prot_ok);
+    // Simulated hit counters are identical to an uncached TLB's.
+    EXPECT_EQ(tlb.hits, 2u);
+    EXPECT_EQ(tlb.misses, 0u);
+}
+
+TEST_F(TlbFixture, L0InvalidatedOnInvalidatePage)
+{
+    tlb.insert(1, 5, 42, ProtRead, false);
+    EXPECT_TRUE(tlb.lookup(1, 5, ProtRead, 0).hit); // L0 now caches it.
+    tlb.invalidatePage(1, 5);
+    EXPECT_TRUE(tlb.l0Translations().empty());
+    EXPECT_FALSE(tlb.lookup(1, 5, ProtRead, 0).hit);
+}
+
+TEST_F(TlbFixture, L0InvalidatedOnInvalidateRange)
+{
+    for (Vpn v = 0; v < 4; ++v) {
+        tlb.insert(1, v, v + 1, ProtRead, false);
+        tlb.lookup(1, v, ProtRead, 0);
+    }
+    tlb.invalidateRange(1, 0, 4);
+    EXPECT_TRUE(tlb.l0Translations().empty());
+    for (Vpn v = 0; v < 4; ++v)
+        EXPECT_FALSE(tlb.lookup(1, v, ProtRead, 0).hit) << "vpn " << v;
+}
+
+TEST_F(TlbFixture, L0InvalidatedOnFlushSpacePerSpace)
+{
+    tlb.insert(1, 5, 42, ProtRead, false);
+    tlb.insert(2, 5, 43, ProtRead, false);
+    tlb.lookup(1, 5, ProtRead, 0);
+    tlb.lookup(2, 5, ProtRead, 0);
+    tlb.flushSpace(1);
+    // Only the flushed space's slots are dropped.
+    for (const TlbEntry &entry : tlb.l0Translations())
+        EXPECT_NE(entry.space, 1u);
+    EXPECT_FALSE(tlb.lookup(1, 5, ProtRead, 0).hit);
+    EXPECT_TRUE(tlb.lookup(2, 5, ProtRead, 0).hit);
+}
+
+TEST_F(TlbFixture, L0InvalidatedOnFlushAll)
+{
+    tlb.insert(1, 5, 42, ProtRead, false);
+    tlb.lookup(1, 5, ProtRead, 0);
+    tlb.flushAll();
+    EXPECT_TRUE(tlb.l0Translations().empty());
+    EXPECT_FALSE(tlb.lookup(1, 5, ProtRead, 0).hit);
+}
+
+TEST_F(TlbFixture, L0InvalidatedOnEviction)
+{
+    // Cache vpn 0 in the L0, then wrap the round-robin victim cursor
+    // exactly onto its backing entry: the eviction retires the entry
+    // and must drop the L0 slot with it.
+    tlb.insert(1, 0, 1, ProtRead, false);
+    tlb.lookup(1, 0, ProtRead, 0);
+    for (Vpn v = 1; v <= config.tlb_entries; ++v)
+        tlb.insert(1, v, v + 1, ProtRead, false);
+    EXPECT_FALSE(tlb.lookup(1, 0, ProtRead, 0).hit);
+}
+
+TEST_F(TlbFixture, L0SeesInPlaceRefresh)
+{
+    // An insert hit refreshes the backing entry in place; the L0 slot
+    // keeps pointing at it and must serve the refreshed translation.
+    tlb.insert(1, 5, 42, ProtRead, false);
+    tlb.lookup(1, 5, ProtRead, 0);
+    tlb.insert(1, 5, 99, ProtReadWrite, false);
+    const TlbLookup look = tlb.lookup(1, 5, ProtWrite, 0);
+    EXPECT_TRUE(look.hit);
+    EXPECT_TRUE(look.prot_ok);
+    EXPECT_EQ(look.pfn, 99u);
+}
+
+TEST_F(TlbFixture, L0DisabledBehavesIdentically)
+{
+    // Same deterministic op mix against an L0-less TLB: every simulated
+    // observable (results and digest counters) must match bit for bit.
+    MachineConfig no_l0_config;
+    no_l0_config.tlb_l0_entries = 0;
+    Tlb plain(&no_l0_config, &mem);
+
+    const auto mix = [](Tlb &t) {
+        for (std::uint32_t i = 0; i < 3000; ++i) {
+            const SpaceId space = 1 + i % 3;
+            const Vpn vpn = (i * 7) % 128;
+            if (!t.lookup(space, vpn, ProtRead, 0).hit)
+                t.insert(space, vpn, vpn + 1, ProtReadWrite, false);
+            t.lookup(space, vpn, ProtRead, 0);
+            if (i % 13 == 0)
+                t.invalidatePage(space, vpn);
+            if (i % 97 == 0)
+                t.flushSpace(space);
+            if (i % 501 == 0)
+                t.flushAll();
+        }
+    };
+    mix(tlb);
+    mix(plain);
+    EXPECT_EQ(plain.l0_hits + plain.l0_misses, 0u);
+    EXPECT_EQ(tlb.hits, plain.hits);
+    EXPECT_EQ(tlb.misses, plain.misses);
+    EXPECT_EQ(tlb.flushes, plain.flushes);
+    EXPECT_EQ(tlb.single_invalidates, plain.single_invalidates);
+    EXPECT_EQ(tlb.full_flushes, plain.full_flushes);
+    EXPECT_EQ(tlb.validCount(), plain.validCount());
+}
+
+TEST_F(TlbFixture, SkippedL0InvalidationServesStaleTranslation)
+{
+    // The chk_skip_l0_invalidate planted bug: with L0 maintenance
+    // disabled, a flushed translation keeps being served from the L0.
+    // This is the failure mode the consistency audit must catch (see
+    // the pmap audit test); here we prove the knob actually plants it.
+    config.chk_skip_l0_invalidate = true;
+    tlb.insert(1, 5, 42, ProtRead, false);
+    tlb.lookup(1, 5, ProtRead, 0);
+    tlb.flushSpace(1);
+    EXPECT_EQ(tlb.validCount(), 0u);
+    EXPECT_FALSE(tlb.l0Translations().empty());
+    EXPECT_TRUE(tlb.lookup(1, 5, ProtRead, 0).hit); // Stale!
 }
 
 // ---------------------------------------------------------------------

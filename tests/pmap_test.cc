@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "chk/oracle.hh"
 #include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
 
@@ -388,6 +389,82 @@ TEST(PmapAudit, DetectsProtMismatch)
         EXPECT_FALSE(kernel.pmaps().auditTlbConsistency().empty());
         kernel.machine().cpu(1).tlb().flushAll();
         pmap->remove(drv, 30, 31);
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapAudit, DetectsSkippedL0Invalidation)
+{
+    // Plant the one bug the L0 cache can introduce: a flush that the
+    // indexed TLB honors but the L0 misses. chk_skip_l0_invalidate
+    // disables all L0 maintenance, so after a flushAll the L0 keeps
+    // serving the dead translation -- the audit must say so.
+    hw::MachineConfig config = pmapConfig();
+    config.chk_skip_l0_invalidate = true;
+    inKernel(config, [](vm::Kernel &kernel, kern::Thread &drv) {
+        auto pmap = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        pmap->enter(drv, 30, frame, ProtReadWrite);
+        hw::Tlb &tlb = kernel.machine().cpu(2).tlb();
+        tlb.insert(pmap->space(), 30, frame, ProtReadWrite, false);
+        tlb.lookup(pmap->space(), 30, ProtRead, 0); // L0 caches it.
+        EXPECT_TRUE(kernel.pmaps().auditTlbConsistency().empty());
+
+        // The mapping goes away; the responder-style flush empties the
+        // indexed TLB but (planted bug) leaves the L0 slot behind.
+        tlb.flushAll();
+        pmap->remove(drv, 30, 31);
+        const auto violations = kernel.pmaps().auditTlbConsistency();
+        ASSERT_FALSE(violations.empty());
+        EXPECT_NE(violations[0].find("L0"), std::string::npos);
+        EXPECT_NE(violations[0].find("cpu2"), std::string::npos);
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapAudit, OracleCatchesSkippedL0Invalidation)
+{
+    // Same planted bug, but caught the way real checker runs catch it:
+    // the stale-translation oracle's post-operation audit hook.
+    hw::MachineConfig config = pmapConfig();
+    config.chk_skip_l0_invalidate = true;
+    inKernel(config, [](vm::Kernel &kernel, kern::Thread &drv) {
+        chk::Oracle oracle(kernel);
+        auto pmap = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        pmap->enter(drv, 30, frame, ProtReadWrite);
+        hw::Tlb &tlb = kernel.machine().cpu(2).tlb();
+        tlb.insert(pmap->space(), 30, frame, ProtReadWrite, false);
+        tlb.lookup(pmap->space(), 30, ProtRead, 0);
+        tlb.flushAll(); // Indexed entries die; the L0 slot survives.
+
+        // The next completed pmap operation triggers the oracle's
+        // audit, which must flag the undead L0 translation once the
+        // page tables stop backing it.
+        pmap->remove(drv, 30, 31);
+        EXPECT_FALSE(oracle.clean());
+        EXPECT_GT(oracle.violationCount(), 0u);
+        kernel.machine().mem().freeFrame(frame);
+    });
+}
+
+TEST(PmapAudit, OracleCleanWithL0Enabled)
+{
+    // Control for the planted-bug runs: correct L0 maintenance keeps
+    // the oracle quiet through the same flush-and-remove sequence.
+    inKernel([](vm::Kernel &kernel, kern::Thread &drv) {
+        chk::Oracle oracle(kernel);
+        auto pmap = kernel.pmaps().createPmap();
+        const Pfn frame = kernel.machine().mem().allocFrame();
+        pmap->enter(drv, 30, frame, ProtReadWrite);
+        hw::Tlb &tlb = kernel.machine().cpu(2).tlb();
+        tlb.insert(pmap->space(), 30, frame, ProtReadWrite, false);
+        tlb.lookup(pmap->space(), 30, ProtRead, 0);
+        tlb.flushAll();
+        pmap->remove(drv, 30, 31);
+        oracle.finalCheck();
+        EXPECT_TRUE(oracle.clean());
+        EXPECT_EQ(oracle.violationCount(), 0u);
         kernel.machine().mem().freeFrame(frame);
     });
 }

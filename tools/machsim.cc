@@ -73,6 +73,8 @@ struct Options
     bool asid_tags = false;
     bool delayed_flush = false;
     unsigned tlb_assoc = 0;
+    /** Disable the host-side L0/walk caches (timing-neutral knob). */
+    bool no_l0 = false;
     std::string trace_spec;
     /** Perturbation directives, e.g. "e89+187500,b40+9000". */
     std::string schedule;
@@ -146,6 +148,9 @@ usage()
         "  --asid-tags         Section 10 tagged-TLB extension\n"
         "  --tlb-assoc N       set-associative TLB with N ways (0 =\n"
         "                      fully associative, the Multimax default)\n"
+        "  --no-l0             disable the host-side L0 translation\n"
+        "                      cache and page-walk cache (slower on\n"
+        "                      the host, identical simulated results)\n"
         "\nworkload:\n"
         "  --app NAME          tester | mach-build | parthenon | "
         "agora | camelot\n"
@@ -276,6 +281,8 @@ parse(int argc, char **argv, Options *opt)
         } else if (flag == "--tlb-assoc") {
             opt->tlb_assoc =
                 static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--no-l0") {
+            opt->no_l0 = true;
         } else if (flag == "--trace") {
             opt->trace_spec = need_value(i);
         } else if (flag == "--schedule") {
@@ -333,6 +340,10 @@ toConfig(const Options &opt)
     config.tlb_remote_invalidate = opt.remote_invalidate;
     config.tlb_asid_tags = opt.asid_tags;
     config.tlb_associativity = opt.tlb_assoc;
+    if (opt.no_l0) {
+        config.tlb_l0_entries = 0;
+        config.host_walk_cache = false;
+    }
     config.obs_record_cost = opt.obs_cost;
     if (opt.delayed_flush) {
         config.consistency_strategy =

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Perf smoke gate: fail CI when the hot paths regress badly.
+
+Compares a freshly generated BENCH_host_perf.json against the baseline
+committed at the repo root. Only the two steadiest metrics are gated --
+raw event dispatch throughput and TLB lookup latency -- and only with a
+generous tolerance (default 25%), because shared CI runners are noisy.
+The remaining benchmarks are informational; their history lives in the
+uploaded BENCH_host_perf artifacts.
+
+Usage: perf_smoke.py <committed.json> <fresh.json> [--tolerance 1.25]
+Exit status 0 = within tolerance, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+# (benchmark, metric, direction). "higher" means bigger is better.
+GATES = [
+    ("event_queue", "events_per_sec", "higher"),
+    ("tlb_churn", "tlb_lookup_ns", "lower"),
+]
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    return doc["results"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("committed", help="baseline BENCH_host_perf.json")
+    parser.add_argument("fresh", help="just-measured BENCH_host_perf.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.25,
+        help="allowed regression factor (default 1.25 = 25%%)",
+    )
+    args = parser.parse_args()
+
+    try:
+        committed = load(args.committed)
+        fresh = load(args.fresh)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"perf_smoke: cannot read inputs: {err}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for bench, metric, direction in GATES:
+        try:
+            base = committed[bench][metric]
+            now = fresh[bench][metric]
+        except KeyError:
+            print(f"perf_smoke: {bench}.{metric} missing", file=sys.stderr)
+            failed = True
+            continue
+        if direction == "higher":
+            bound = base / args.tolerance
+            ok = now >= bound
+            verdict = f"floor {bound:.3f}"
+        else:
+            bound = base * args.tolerance
+            ok = now <= bound
+            verdict = f"ceiling {bound:.3f}"
+        status = "ok" if ok else "REGRESSED"
+        print(
+            f"perf_smoke: {bench}.{metric}: baseline {base:.3f}, "
+            f"measured {now:.3f} ({verdict}) ... {status}"
+        )
+        failed = failed or not ok
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
