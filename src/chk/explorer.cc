@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "base/rng.hh"
+#include "chk/corpus.hh"
 #include "chk/oracle.hh"
 #include "obs/recorder.hh"
+#include "obs/signature.hh"
 #include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
 
@@ -70,6 +72,14 @@ struct TrialHarness
         scenario.launch(kernel, &state);
     }
 
+    /** Arm the coverage signal: record everything so finish() can
+     *  extract the interleaving signatures. Timing-neutral. */
+    void
+    enableSigning()
+    {
+        kernel.machine().recorder().enable();
+    }
+
     /** Judge the finished run; @p events_fired is the run() total. */
     TrialResult
     finish(std::uint64_t events_fired)
@@ -102,6 +112,12 @@ struct TrialHarness
         h = fold(h, shoot.remote_invalidates);
         h = fold(h, out.violation_count);
         out.digest = h;
+
+        // The coverage signal rides along whenever the full event
+        // stream was recorded (ring mode would have dropped windows).
+        const obs::Recorder &rec = kernel.machine().recorder();
+        if (rec.enabled() && !rec.ringMode())
+            out.signatures = obs::interleavingSignatures(rec);
         return out;
     }
 };
@@ -163,6 +179,9 @@ encodeTrial(const TrialResult &r)
         appendU64(s, v.size());
         s += v;
     }
+    appendU64(s, r.signatures.size());
+    for (const std::uint64_t sig : r.signatures)
+        appendU64(s, sig);
     return s;
 }
 
@@ -200,6 +219,16 @@ decodeTrial(const std::string &s, TrialResult *out)
             return false;
         out->violations.push_back(std::move(v));
     }
+    if (!readU64(s, &pos, &count) || count > (1u << 20))
+        return false;
+    out->signatures.clear();
+    out->signatures.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t sig = 0;
+        if (!readU64(s, &pos, &sig))
+            return false;
+        out->signatures.push_back(sig);
+    }
     return pos == s.size();
 }
 
@@ -226,6 +255,7 @@ void
 runSnapshotBatch(const Scenario &scenario,
                  const std::vector<SchedulePerturber> &probes,
                  unsigned jobs, std::uint64_t snapshot_floor,
+                 bool with_signatures,
                  std::vector<TrialResult> &results,
                  std::vector<char> &done)
 {
@@ -253,6 +283,11 @@ runSnapshotBatch(const Scenario &scenario,
         return; // a directive fires too early to park before it
 
     TrialHarness harness(scenario);
+    // Signed batches record the shared prefix once; every fork child
+    // inherits the recorded events and appends its own, so a child's
+    // signature list matches a full signed run of the same probe.
+    if (with_signatures)
+        harness.enableSigning();
     const kern::Machine::PrefixRun prefix =
         harness.kernel.machine().runPrefix(ew, bw, scenario.bound);
     if (!prefix.parked || prefix.events < snapshot_floor)
@@ -303,6 +338,132 @@ runSnapshotBatch(const Scenario &scenario,
     }
 }
 
+// ---- Probe generation -----------------------------------------------
+
+/**
+ * Fixed wave width for coverage-guided mutation waves. Mutation
+ * generation reads the corpus as it stood at the wave boundary, so
+ * the width must not depend on the farm shape -- that is what keeps
+ * coverage campaigns as-if-serial at any --jobs setting.
+ */
+constexpr std::size_t kCoverageWave = 8;
+
+/** One blind multi-delay probe (the classic random phase). */
+SchedulePerturber
+randomProbe(Rng &rng, const ExploreOptions &opt, std::uint64_t e_lo,
+            std::uint64_t e_hi, std::uint64_t b_lo, std::uint64_t b_hi)
+{
+    SchedulePerturber p;
+    const unsigned k =
+        1 + static_cast<unsigned>(rng.below(opt.max_delays));
+    for (unsigned j = 0; j < k; ++j) {
+        const Tick extra =
+            opt.min_extra + rng.below(opt.max_extra - opt.min_extra + 1);
+        if (rng.chance(0.15))
+            p.delayBusAccess(b_lo + rng.below(b_hi - b_lo + 1), extra);
+        else
+            p.delayEvent(e_lo + rng.below(e_hi - e_lo + 1), extra);
+    }
+    return p;
+}
+
+/**
+ * One coverage-guided probe: mutate a corpus entry (biased toward
+ * entries that opened more signature buckets) with one of the three
+ * operators -- directive splice, delta scale, seq shift -- falling
+ * back to a blind probe now and then (and always while the corpus is
+ * still empty) so the campaign keeps a global exploration floor.
+ */
+SchedulePerturber
+mutateProbe(Rng &rng, const std::vector<const CorpusEntry *> &pool,
+            const ExploreOptions &opt, std::uint64_t e_lo,
+            std::uint64_t e_hi, std::uint64_t b_lo, std::uint64_t b_hi)
+{
+    if (pool.empty() || rng.chance(0.1))
+        return randomProbe(rng, opt, e_lo, e_hi, b_lo, b_hi);
+
+    // Tournament pick: novelty-weighted without a weight table.
+    const CorpusEntry *a = pool[rng.below(pool.size())];
+    const CorpusEntry *b = pool[rng.below(pool.size())];
+    const CorpusEntry *entry = a->new_buckets >= b->new_buckets ? a : b;
+    SchedulePerturber base;
+    if (!SchedulePerturber::parse(entry->schedule, &base, nullptr) ||
+        base.empty())
+        return randomProbe(rng, opt, e_lo, e_hi, b_lo, b_hi);
+    std::vector<PerturbItem> items = base.items();
+
+    switch (rng.below(3)) {
+      case 0: { // directive splice: union with another entry's items
+        const CorpusEntry *other = pool[rng.below(pool.size())];
+        SchedulePerturber donor;
+        if (SchedulePerturber::parse(other->schedule, &donor,
+                                     nullptr)) {
+            for (const PerturbItem &item : donor.items()) {
+                if (rng.chance(0.5))
+                    items.push_back(item);
+            }
+        }
+        const std::size_t cap =
+            std::max<std::size_t>(2, std::size_t{opt.max_delays} * 2);
+        while (items.size() > cap)
+            items.erase(items.begin() + static_cast<std::ptrdiff_t>(
+                                            rng.below(items.size())));
+        break;
+      }
+      case 1: { // delta scale: grow or shrink one delay
+        PerturbItem &item = items[rng.below(items.size())];
+        switch (rng.below(4)) {
+          case 0:
+            item.extra = std::max<Tick>(1, item.extra / 2);
+            break;
+          case 1:
+            item.extra *= 2;
+            break;
+          case 2:
+            item.extra *= 4;
+            break;
+          default:
+            // Overdrive: resample from the band past the blind
+            // probes' max_extra cap. Hazard windows wider than any
+            // single protocol phase (a whole revoke round, a full
+            // writer beat) are only reachable from here.
+            item.extra =
+                opt.max_extra + rng.below(3 * opt.max_extra + 1);
+            break;
+        }
+        item.extra = std::min<Tick>(item.extra, 4 * opt.max_extra);
+        break;
+      }
+      default: { // seq shift: local search around one directive
+        PerturbItem &item = items[rng.below(items.size())];
+        const std::uint64_t lo = item.bus ? b_lo : e_lo;
+        const std::uint64_t hi = item.bus ? b_hi : e_hi;
+        switch (rng.below(4)) {
+          case 0: // geometric funnel toward the run's early events:
+                  // warmup-adjacent hazards sit at small sequence
+                  // numbers a +-48 jitter never reaches from the
+                  // middle of the index space
+            item.index = std::max(lo, item.index / 2);
+            break;
+          case 1: // and the mirror, toward teardown
+            item.index = std::min(hi, item.index * 2);
+            break;
+          default: {
+            const std::uint64_t delta = 1 + rng.below(48);
+            if (rng.chance(0.5))
+                item.index = std::min(hi, item.index + delta);
+            else
+                item.index =
+                    item.index > lo + delta ? item.index - delta : lo;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    return SchedulePerturber::fromItems(items);
+}
+
 } // namespace
 
 TrialResult
@@ -310,6 +471,17 @@ Explorer::runTrial(const Scenario &scenario,
                    const SchedulePerturber &perturber) const
 {
     TrialHarness harness(scenario, &perturber);
+    const std::uint64_t fired = harness.kernel.machine().run(
+        perturbedBound(scenario, perturber));
+    return harness.finish(fired);
+}
+
+TrialResult
+Explorer::runTrialSigned(const Scenario &scenario,
+                         const SchedulePerturber &perturber) const
+{
+    TrialHarness harness(scenario, &perturber);
+    harness.enableSigning();
     const std::uint64_t fired = harness.kernel.machine().run(
         perturbedBound(scenario, perturber));
     return harness.finish(fired);
@@ -337,21 +509,26 @@ Explorer::runTrialRecorded(const Scenario &scenario,
 
 std::vector<TrialResult>
 Explorer::runTrials(const Scenario &scenario,
-                    const std::vector<SchedulePerturber> &probes) const
+                    const std::vector<SchedulePerturber> &probes,
+                    bool with_signatures) const
 {
     std::vector<TrialResult> results(probes.size());
     std::vector<char> done(probes.size(), 0);
 
     if (farm_.snapshots && farm::forkAvailable() && probes.size() >= 2)
         runSnapshotBatch(scenario, probes, farm_.jobs,
-                         farm_.snapshot_floor, results, done);
+                         farm_.snapshot_floor, with_signatures,
+                         results, done);
 
     std::vector<std::function<void()>> jobs;
     for (std::size_t i = 0; i < probes.size(); ++i) {
         if (done[i])
             continue;
-        jobs.push_back([this, &scenario, &probes, &results, i] {
-            results[i] = runTrial(scenario, probes[i]);
+        jobs.push_back([this, &scenario, &probes, &results,
+                        with_signatures, i] {
+            results[i] = with_signatures
+                             ? runTrialSigned(scenario, probes[i])
+                             : runTrial(scenario, probes[i]);
         });
     }
     farm::runMany(std::move(jobs), farm_.jobs);
@@ -363,7 +540,19 @@ Explorer::explore(const Scenario &scenario, const ExploreOptions &opt)
 {
     ExploreResult res;
 
-    res.baseline = runTrial(scenario, SchedulePerturber{});
+    // The campaign memory: opt.corpus when the caller keeps one
+    // (persistent campaigns, cross-campaign dedup), else a private
+    // in-memory corpus for coverage mode, else none (classic blind
+    // exploration, bit-identical to what it always did).
+    Corpus local;
+    Corpus *corpus =
+        opt.corpus != nullptr ? opt.corpus
+                              : (opt.coverage_guided ? &local : nullptr);
+    const bool dedup = corpus != nullptr;
+    const bool sign = opt.coverage_guided;
+
+    res.baseline = sign ? runTrialSigned(scenario, SchedulePerturber{})
+                        : runTrial(scenario, SchedulePerturber{});
     ++res.trials;
     if (res.baseline.failed() ||
         (opt.check_coverage && !res.baseline.coverage_ok)) {
@@ -371,6 +560,16 @@ Explorer::explore(const Scenario &scenario, const ExploreOptions &opt)
         say("baseline failed: " + scenario.name + " " +
             res.baseline.note);
         return res;
+    }
+    if (sign) {
+        corpus->markTried(scenario.name, "");
+        CorpusEntry entry;
+        entry.scenario = scenario.name;
+        entry.signatures = res.baseline.signatures;
+        entry.digest = res.baseline.digest;
+        entry.trial = res.trials;
+        if (corpus->admit(std::move(entry)) != 0)
+            ++res.coverage_novel;
     }
 
     const std::uint64_t n_events =
@@ -410,31 +609,35 @@ Explorer::explore(const Scenario &scenario, const ExploreOptions &opt)
              seq += stride, ++used) {
             SchedulePerturber p;
             p.delayEvent(seq, kDeltaLadder[used % kDeltaLadderSize]);
+            if (dedup &&
+                !corpus->markTried(scenario.name, p.format())) {
+                ++res.duplicate_probes_skipped;
+                continue;
+            }
             probes.push_back(std::move(p));
         }
     }
     const std::size_t n_systematic = probes.size();
 
-    // Phase 2: randomized multi-delay probes over events and bus
-    // accesses. Drawn from the explorer's own named stream -- probe
-    // generation shares a seed with nothing else, so scenario
+    // Phase 2 (blind mode): randomized multi-delay probes over events
+    // and bus accesses. Drawn from the explorer's own named stream --
+    // probe generation shares a seed with nothing else, so scenario
     // workloads keep their schedules no matter how many probes run.
-    Rng rng(opt.seed, "chk.explorer.probes");
-    for (unsigned t = 0; t < opt.random_budget; ++t) {
-        SchedulePerturber p;
-        const unsigned k =
-            1 + static_cast<unsigned>(rng.below(opt.max_delays));
-        for (unsigned j = 0; j < k; ++j) {
-            const Tick extra =
-                opt.min_extra +
-                rng.below(opt.max_extra - opt.min_extra + 1);
-            if (rng.chance(0.15))
-                p.delayBusAccess(b_lo + rng.below(b_hi - b_lo + 1),
-                                 extra);
-            else
-                p.delayEvent(e_lo + rng.below(e_hi - e_lo + 1), extra);
+    // Dedup (when a corpus is attached) filters *after* generation, so
+    // the draw sequence -- and therefore every surviving schedule --
+    // is unchanged from a corpus-less campaign.
+    if (!opt.coverage_guided) {
+        Rng rng(opt.seed, "chk.explorer.probes");
+        for (unsigned t = 0; t < opt.random_budget; ++t) {
+            SchedulePerturber p =
+                randomProbe(rng, opt, e_lo, e_hi, b_lo, b_hi);
+            if (dedup &&
+                !corpus->markTried(scenario.name, p.format())) {
+                ++res.duplicate_probes_skipped;
+                continue;
+            }
+            probes.push_back(std::move(p));
         }
-        probes.push_back(std::move(p));
     }
 
     // Execute in waves. Accounting is as-if-serial regardless of the
@@ -445,41 +648,95 @@ Explorer::explore(const Scenario &scenario, const ExploreOptions &opt)
     // little speculation, ones that run long amortize the farm.
     const bool farmed =
         farm_.jobs > 1 || (farm_.snapshots && farm::forkAvailable());
-    std::size_t wave_size = farmed ? 4 : 1;
-    const std::size_t wave_cap =
-        farmed ? std::max<std::size_t>(std::size_t{farm_.jobs} * 4, 32)
-               : 1;
-    for (std::size_t base = 0; base < probes.size();) {
-        const std::size_t end =
-            std::min(probes.size(), base + wave_size);
-        const std::vector<SchedulePerturber> wave(
-            probes.begin() + static_cast<std::ptrdiff_t>(base),
-            probes.begin() + static_cast<std::ptrdiff_t>(end));
-        const std::vector<TrialResult> rs = runTrials(scenario, wave);
+    bool stop = false;
 
-        bool stop = false;
+    // Serial, in-order accounting for one executed wave: count trials,
+    // feed signatures to the corpus, latch the first failure. Identical
+    // at every farm shape because wave composition never depends on it.
+    const auto account = [&](const std::vector<SchedulePerturber> &wave,
+                             const std::vector<TrialResult> &rs,
+                             std::size_t first_ord,
+                             const char *phase_label) {
         for (std::size_t i = 0; i < rs.size(); ++i) {
             ++res.trials;
+            if (sign) {
+                CorpusEntry entry;
+                entry.scenario = scenario.name;
+                entry.schedule = wave[i].format();
+                entry.signatures = rs[i].signatures;
+                entry.digest = rs[i].digest;
+                entry.trial = res.trials;
+                entry.failed = rs[i].failed();
+                if (corpus->admit(std::move(entry)) != 0)
+                    ++res.coverage_novel;
+            }
             if (!rs[i].failed())
                 continue;
             ++res.failures;
             if (res.failures == 1) {
                 res.first_failing = wave[i];
                 res.first_failure = rs[i];
-                const std::size_t ord = base + i;
+                const char *phase =
+                    phase_label != nullptr
+                        ? phase_label
+                        : (first_ord + i < n_systematic ? "systematic"
+                                                        : "random");
                 say("failing schedule for " + scenario.name + " (" +
-                    (ord < n_systematic ? "systematic" : "random") +
-                    " probe): " + wave[i].format());
+                    phase + " probe): " + wave[i].format());
             }
             if (opt.stop_at_first) {
                 stop = true;
-                break;
+                return;
             }
         }
-        if (stop)
-            break;
+    };
+
+    std::size_t wave_size = farmed ? 4 : 1;
+    const std::size_t wave_cap =
+        farmed ? std::max<std::size_t>(std::size_t{farm_.jobs} * 4, 32)
+               : 1;
+    for (std::size_t base = 0; base < probes.size() && !stop;) {
+        const std::size_t end =
+            std::min(probes.size(), base + wave_size);
+        const std::vector<SchedulePerturber> wave(
+            probes.begin() + static_cast<std::ptrdiff_t>(base),
+            probes.begin() + static_cast<std::ptrdiff_t>(end));
+        account(wave, runTrials(scenario, wave, sign), base, nullptr);
         base = end;
         wave_size = std::min(wave_cap, wave_size * 2);
+    }
+
+    // Phase 2 (coverage-guided mode): mutate corpus entries instead of
+    // sampling blind. Waves are a fixed width -- generation reads the
+    // corpus as it stood at the wave boundary, so the probes (and the
+    // as-if-serial accounting) are identical at any farm shape.
+    // Duplicates consume budget without running, so a converged corpus
+    // winds a campaign down instead of re-running old schedules.
+    if (opt.coverage_guided && !stop) {
+        Rng mrng(opt.seed, "chk.explorer.mutate");
+        unsigned generated = 0;
+        while (generated < opt.random_budget && !stop) {
+            const std::vector<const CorpusEntry *> pool =
+                corpus->mutationPool(scenario.name);
+            std::vector<SchedulePerturber> wave;
+            while (wave.size() < kCoverageWave &&
+                   generated < opt.random_budget) {
+                ++generated;
+                SchedulePerturber p =
+                    mutateProbe(mrng, pool, opt, e_lo, e_hi, b_lo,
+                                b_hi);
+                if (p.empty() ||
+                    !corpus->markTried(scenario.name, p.format())) {
+                    ++res.duplicate_probes_skipped;
+                    continue;
+                }
+                wave.push_back(std::move(p));
+            }
+            if (wave.empty())
+                continue;
+            account(wave, runTrials(scenario, wave, true), 0,
+                    "mutated");
+        }
     }
 
     if (res.failures != 0) {
@@ -490,6 +747,123 @@ Explorer::explore(const Scenario &scenario, const ExploreOptions &opt)
         // recording is cost-free in simulated time, so this is the
         // same trial (same digest) plus an openable timeline of the
         // failure's final stretch.
+        res.minimized_result = runTrialRecorded(
+            scenario, res.minimized, &res.flight_trace_json,
+            kFlightRingCapacity);
+        char line[128];
+        std::snprintf(line, sizeof(line),
+                      "minimized to %u directive(s): ",
+                      static_cast<unsigned>(res.minimized.size()));
+        say(line + res.minimized_schedule);
+    }
+    return res;
+}
+
+ExploreResult
+Explorer::exploreExhaustive(const Scenario &scenario,
+                            const ExhaustiveWindow &window)
+{
+    ExploreResult res;
+
+    res.baseline = runTrial(scenario, SchedulePerturber{});
+    ++res.trials;
+    if (res.baseline.failed() || !res.baseline.coverage_ok) {
+        res.baseline_failed = true;
+        say("baseline failed: " + scenario.name + " " +
+            res.baseline.note);
+        return res;
+    }
+
+    const std::uint64_t n_events =
+        std::max<std::uint64_t>(1, res.baseline.events_fired);
+    const std::uint64_t lo = window.center > window.halfwidth
+                                 ? window.center - window.halfwidth
+                                 : 1;
+    const std::uint64_t hi =
+        std::min(n_events, window.center + window.halfwidth);
+    if (lo > hi) {
+        say("exhaustive window [" + std::to_string(lo) + ", ...] is "
+            "past the end of the run (" + std::to_string(n_events) +
+            " events)");
+        return res;
+    }
+
+    // The complete enumeration: every single delay placement in the
+    // window (each sequence x the whole delta ladder), then -- when
+    // max_delays allows -- every unordered pair of distinct
+    // placements. Same-sequence pairs are skipped: delays merge
+    // additively, so they are singles already covered by the ladder.
+    std::vector<SchedulePerturber> probes;
+    const auto wantMore = [&] {
+        return window.budget == 0 || probes.size() < window.budget;
+    };
+    for (std::uint64_t seq = lo; seq <= hi; ++seq) {
+        for (std::size_t d = 0; d < kDeltaLadderSize && wantMore();
+             ++d) {
+            SchedulePerturber p;
+            p.delayEvent(seq, kDeltaLadder[d]);
+            probes.push_back(std::move(p));
+        }
+    }
+    if (window.max_delays >= 2) {
+        for (std::uint64_t s1 = lo; s1 <= hi; ++s1) {
+            for (std::uint64_t s2 = s1 + 1; s2 <= hi; ++s2) {
+                for (std::size_t d1 = 0; d1 < kDeltaLadderSize; ++d1) {
+                    for (std::size_t d2 = 0;
+                         d2 < kDeltaLadderSize && wantMore(); ++d2) {
+                        SchedulePerturber p;
+                        p.delayEvent(s1, kDeltaLadder[d1]);
+                        p.delayEvent(s2, kDeltaLadder[d2]);
+                        probes.push_back(std::move(p));
+                    }
+                }
+            }
+        }
+    }
+    say("exhaustive window [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "]: " + std::to_string(probes.size()) +
+        " placements");
+
+    // Same farmed wave execution and as-if-serial accounting as
+    // explore()'s probe loop.
+    const bool farmed =
+        farm_.jobs > 1 || (farm_.snapshots && farm::forkAvailable());
+    std::size_t wave_size = farmed ? 4 : 1;
+    const std::size_t wave_cap =
+        farmed ? std::max<std::size_t>(std::size_t{farm_.jobs} * 4, 32)
+               : 1;
+    bool stop = false;
+    for (std::size_t base = 0; base < probes.size() && !stop;) {
+        const std::size_t end =
+            std::min(probes.size(), base + wave_size);
+        const std::vector<SchedulePerturber> wave(
+            probes.begin() + static_cast<std::ptrdiff_t>(base),
+            probes.begin() + static_cast<std::ptrdiff_t>(end));
+        const std::vector<TrialResult> rs = runTrials(scenario, wave);
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+            ++res.trials;
+            if (!rs[i].failed())
+                continue;
+            ++res.failures;
+            if (res.failures == 1) {
+                res.first_failing = wave[i];
+                res.first_failure = rs[i];
+                say("failing schedule for " + scenario.name +
+                    " (exhaustive probe): " + wave[i].format());
+            }
+            if (window.stop_at_first) {
+                stop = true;
+                break;
+            }
+        }
+        base = end;
+        wave_size = std::min(wave_cap, wave_size * 2);
+    }
+
+    if (res.failures != 0) {
+        res.minimized = minimize(scenario, res.first_failing,
+                                 window.minimize_budget);
+        res.minimized_schedule = res.minimized.format();
         res.minimized_result = runTrialRecorded(
             scenario, res.minimized, &res.flight_trace_json,
             kFlightRingCapacity);

@@ -43,6 +43,8 @@
 namespace mach::chk
 {
 
+class Corpus;
+
 /** Everything observed about one perturbed run of a scenario. */
 struct TrialResult
 {
@@ -62,6 +64,15 @@ struct TrialResult
     std::uint64_t digest = 0;
     /** First predicate/coverage failure note from the workload. */
     std::string note;
+    /**
+     * Per-quiescent-window interleaving signatures (the coverage
+     * signal; obs/signature.hh). Only filled by signed trials --
+     * runTrialSigned() or runTrials(..., with_signatures=true); a
+     * plain runTrial() leaves it empty. Signed and unsigned trials of
+     * the same (scenario, schedule) pair agree on every other field,
+     * digest included: recording is timing-neutral.
+     */
+    std::vector<std::uint64_t> signatures;
 
     /** A safety or liveness failure (coverage is judged separately). */
     bool
@@ -101,6 +112,41 @@ struct ExploreOptions
      */
     double sweep_lo = 0.0;
     double sweep_hi = 1.0;
+    /**
+     * Coverage-guided mode: every probe trial runs signed, its
+     * interleaving signatures feed the campaign's Corpus, and the
+     * random phase mutates coverage-novel corpus entries (directive
+     * splice, delta scale, seq shift) instead of sampling blind.
+     * random_budget then counts *generated* mutation probes;
+     * duplicates skipped by the dedup set consume budget without
+     * running a trial.
+     */
+    bool coverage_guided = false;
+    /**
+     * The campaign's corpus: signature bucket map, tried-schedule
+     * dedup, and (when the corpus has a directory) persistence.
+     * Optional in coverage mode -- a private in-memory corpus is used
+     * when null. In blind mode a non-null corpus still provides the
+     * dedup set for satellite accounting (duplicate_probes_skipped).
+     */
+    Corpus *corpus = nullptr;
+};
+
+/** Bounds for exploreExhaustive(): every delay placement in a
+ *  K-event window around one event sequence number (e.g. a sync
+ *  point seen in a corpus entry or a minimized schedule). */
+struct ExhaustiveWindow
+{
+    /** Window center, an e<seq> index of the baseline run. */
+    std::uint64_t center = 0;
+    /** Half-width K: the window is [center-K, center+K]. */
+    std::uint64_t halfwidth = 8;
+    /** 1 = singles only; 2 adds every ordered pair of placements. */
+    unsigned max_delays = 2;
+    /** Cap on enumerated probes (0 = the full enumeration). */
+    unsigned budget = 0;
+    bool stop_at_first = true;
+    unsigned minimize_budget = 120;
 };
 
 /** Outcome of an exploration campaign. */
@@ -118,6 +164,12 @@ struct ExploreResult
     SchedulePerturber minimized;
     std::string minimized_schedule;
     TrialResult minimized_result;
+    /** Probes skipped because their exact directive set was already
+     *  tried (this campaign or, via a persistent corpus, an earlier
+     *  one). Zero unless a dedup set is in play. */
+    unsigned duplicate_probes_skipped = 0;
+    /** Trials whose signatures added >= 1 new coverage bucket. */
+    unsigned coverage_novel = 0;
     /**
      * Flight-recorder timeline of the minimized reproducer's replay
      * (Chrome Trace Event JSON), captured so every found failure ships
@@ -169,6 +221,15 @@ class Explorer
                                  std::size_t ring_capacity = 0) const;
 
     /**
+     * runTrial() with the interleaving-signature coverage signal
+     * captured into TrialResult::signatures. Every other field --
+     * digest included -- is identical to the unsigned trial of the
+     * same pair (recording charges no simulated time).
+     */
+    TrialResult runTrialSigned(const Scenario &scenario,
+                               const SchedulePerturber &perturber) const;
+
+    /**
      * Run one trial per perturbation in @p probes and return their
      * results in probe order. Semantically identical to calling
      * runTrial() in a loop -- same TrialResults, digests included --
@@ -178,14 +239,29 @@ class Explorer
      * before the earliest perturbed index -- is simulated once,
      * parked, and fork-cloned per probe instead of re-run. Probes
      * whose snapshot is unusable silently fall back to full runs.
+     * @p with_signatures runs every trial signed (the snapshot path
+     * records the shared prefix once, so children inherit it).
      */
     std::vector<TrialResult>
     runTrials(const Scenario &scenario,
-              const std::vector<SchedulePerturber> &probes) const;
+              const std::vector<SchedulePerturber> &probes,
+              bool with_signatures = false) const;
 
     /** Full campaign: baseline, sweep, random probes, minimization. */
     ExploreResult explore(const Scenario &scenario,
                           const ExploreOptions &opt = {});
+
+    /**
+     * Exhaustive small-window mode: enumerate *every* delay placement
+     * (the systematic delta ladder) for every event sequence in the
+     * window, singles first, then ordered pairs when
+     * window.max_delays >= 2 -- a bounded, complete enumeration
+     * around one sync point, where the randomized modes only sample.
+     * Accounting is as-if-serial like explore()'s, and a found
+     * failure is minimized the same way.
+     */
+    ExploreResult exploreExhaustive(const Scenario &scenario,
+                                    const ExhaustiveWindow &window);
 
     /**
      * Shrink a failing perturbation to a 1-minimal list (no single

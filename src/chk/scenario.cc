@@ -1,8 +1,10 @@
 #include "chk/scenario.hh"
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
+#include "chk/vmgen.hh"
 #include "kern/cpu.hh"
 #include "kern/thread.hh"
 #include "pmap/shootdown.hh"
@@ -653,6 +655,24 @@ builtinScenarios()
         out.push_back(s);
     }
 
+    // ---- Generated (property-based) scenarios ----------------------
+    // Two vmgen entries ride in the library so the explorer lanes and
+    // the span-balance validator exercise generated workloads by
+    // default; any other vmgen-<seed>[x<nodes>] name still resolves
+    // on demand through resolveScenario().
+    {
+        VmGenOptions g;
+        g.seed = 1;
+        out.push_back(vmgenScenario(g));
+    }
+    {
+        VmGenOptions g;
+        g.seed = 2;
+        g.numa_nodes = 2;
+        g.ncpus = 4;
+        out.push_back(vmgenScenario(g));
+    }
+
     return out;
 }
 
@@ -692,6 +712,101 @@ brokenReplicaScenario()
     return s;
 }
 
+Scenario
+brokenL0Scenario()
+{
+    Scenario s;
+    s.name = "broken-l0";
+    s.summary = "planted bug: responders skip the L0 cache clear";
+    s.config = smallConfig(4);
+    s.config.chk_skip_l0_invalidate = true;
+    s.bound = 400 * kMsec;
+    s.launch = [](vm::Kernel &kernel, ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "chk-driver",
+            [kp, state](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                vm::Task *task = kernel.createTask("chk-l0");
+                // Twice the 4-slot L0: a fast-path hit does not
+                // refill, so a sweep of exactly l0_size pages can be
+                // partially resident and leave the target slot alive.
+                // At 2x the capacity every sweep access has reuse
+                // distance >= 8 and must miss, so four of its fills
+                // land before the sweep ends and the target slot is
+                // out by construction.
+                constexpr unsigned kDecoys = 8;
+                VAddr base = 0;
+                if (!kernel.vmAllocate(drv, *task, &base,
+                                       (1 + kDecoys) * kPageSize,
+                                       true)) {
+                    failPredicate(state, "vmAllocate failed");
+                    finish(kernel, state);
+                    return;
+                }
+                const VAddr target = base;
+                const VAddr decoys = base + kPageSize;
+                bool stop = false;
+                // Loop counter, bumped right after the target touch.
+                // The driver keys its revoke off this signal so the
+                // revoke lands a fixed interval after the touch --
+                // far past the decoy sweep that flushes the target
+                // out of the L0, unless a perturbation parks the
+                // writer inside the sweep.
+                std::uint32_t beat = 0;
+                kern::Thread *writer = kernel.spawnThread(
+                    task, "chk-kid",
+                    [kp, target, decoys, &stop,
+                     &beat](kern::Thread &self) {
+                        vm::Kernel &kernel = *kp;
+                        std::uint32_t n = 0;
+                        while (!stop) {
+                            kern::AccessResult r =
+                                self.access(target, ProtWrite);
+                            if (r.ok)
+                                kernel.machine().mem().write32(
+                                    r.paddr, ++n);
+                            else
+                                self.access(target, ProtRead);
+                            ++beat;
+                            // The sweep: a few microseconds of decoy
+                            // walks, after which the target slot has
+                            // rotated out of the 4-entry L0.
+                            for (unsigned i = 0; i < kDecoys; ++i)
+                                self.access(decoys + i * kPageSize,
+                                            ProtRead);
+                            self.cpu().advance(250 * kUsec);
+                        }
+                    },
+                    1);
+                drv.sleep(4 * kMsec);
+                for (unsigned round = 0; round < 3; ++round) {
+                    // Sync to the writer: wait out the current beat,
+                    // then give the sweep 250 us to finish (it takes
+                    // ~40 us unperturbed) before revoking. Only a
+                    // schedule that delays the sweep by most of that
+                    // margin leaves the stale slot resident at the
+                    // revoke's completion.
+                    const std::uint32_t seen = beat;
+                    while (beat == seen && !state->finished)
+                        drv.sleep(20 * kUsec);
+                    drv.sleep(250 * kUsec);
+                    watchRevoked(kernel, drv, *task, target, 1,
+                                 2 * kMsec, state, "l0", round);
+                    drv.sleep(2 * kMsec);
+                }
+                stop = true;
+                drv.join(*writer);
+                if (kernel.pmaps().shoot().initiated == 0)
+                    failCoverage(state, "l0: no shootdown ran");
+                finish(kernel, state);
+            },
+            0);
+    };
+    return s;
+}
+
 const Scenario *
 findScenario(const std::vector<Scenario> &library,
              const std::string &name)
@@ -701,6 +816,36 @@ findScenario(const std::vector<Scenario> &library,
             return &s;
     }
     return nullptr;
+}
+
+bool
+resolveScenario(const std::string &name, Scenario *out)
+{
+    if (name == "broken-stall") {
+        *out = brokenStallScenario();
+        return true;
+    }
+    if (name == "broken-replica") {
+        *out = brokenReplicaScenario();
+        return true;
+    }
+    if (name == "broken-l0") {
+        *out = brokenL0Scenario();
+        return true;
+    }
+    VmGenOptions g;
+    if (parseVmgenName(name, &g)) {
+        *out = vmgenScenario(g);
+        return true;
+    }
+    std::vector<Scenario> library = builtinScenarios();
+    for (Scenario &s : library) {
+        if (s.name == name) {
+            *out = std::move(s);
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace mach::chk

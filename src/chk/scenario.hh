@@ -94,9 +94,35 @@ Scenario brokenStallScenario();
  */
 Scenario brokenReplicaScenario();
 
+/**
+ * The third planted bug: the per-CPU L0 translation cache keeps
+ * serving an entry after the shootdown protocol revoked it, because
+ * MachineConfig::chk_skip_l0_invalidate makes the responder's L0
+ * clear a no-op. The writer signals each target touch through a
+ * shared beat counter and immediately evicts the stale slot (a sweep
+ * of 8 decoy pages through the 4-slot round-robin L0, ~40 us); the
+ * driver keys its revoke off the beat and waits out a 250 us margin,
+ * so the unperturbed revoke always lands long after the sweep and
+ * the baseline survives. A schedule that parks the writer inside the
+ * sweep for most of that margin leaves the stale slot resident when
+ * the revocation completes, which the oracle's L0-vs-page-table
+ * audit flags.
+ */
+Scenario brokenL0Scenario();
+
 /** Scenario by name from @p library, or null. */
 const Scenario *findScenario(const std::vector<Scenario> &library,
                              const std::string &name);
+
+/**
+ * Resolve @p name to a runnable scenario: the built-in library (which
+ * includes the generated vmgen entries), any vmgen-<seed>[x<nodes>]
+ * name (chk/vmgen.hh), or one of the planted bugs (broken-stall,
+ * broken-replica, broken-l0). This is the one name->scenario map the
+ * CLI, the corpus replay test, and the CI lanes share. Returns false
+ * when nothing matches.
+ */
+bool resolveScenario(const std::string &name, Scenario *out);
 
 } // namespace mach::chk
 

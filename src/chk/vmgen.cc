@@ -1,0 +1,325 @@
+#include "chk/vmgen.hh"
+
+#include <map>
+#include <vector>
+
+#include "base/rng.hh"
+#include "kern/cpu.hh"
+#include "kern/thread.hh"
+#include "pmap/shootdown.hh"
+#include "vm/kernel.hh"
+#include "vm/task.hh"
+
+namespace mach::chk
+{
+
+namespace
+{
+
+/** Host-side reference model: per-page value and rights. */
+struct ModelPage
+{
+    std::uint32_t value = 0; // Fresh anonymous memory reads zero.
+    Prot prot = ProtReadWrite;
+};
+
+void
+fail(ScenarioState *state, std::string why)
+{
+    if (state->predicate_ok) {
+        state->predicate_ok = false;
+        state->note = std::move(why);
+    }
+}
+
+/**
+ * The body thread's op sequence. Serial and self-contained: every
+ * model transition is driven by this thread's own deterministic Rng
+ * draws, so the predicate is schedule-invariant -- a delay
+ * perturbation can move *when* an op runs but never what it must
+ * observe.
+ */
+void
+runOps(vm::Kernel &kernel, kern::Thread &self, vm::Task &task,
+       const VmGenOptions &o, ScenarioState *state)
+{
+    Rng rng(o.seed, "chk.vmgen");
+    std::map<VAddr, ModelPage> model;
+
+    const auto randomPage = [&]() -> VAddr {
+        auto it = model.begin();
+        std::advance(it, static_cast<long>(rng.below(model.size())));
+        return it->first;
+    };
+    const auto check = [&](bool cond, const char *what) {
+        if (!cond)
+            fail(state, std::string("vmgen: ") + what);
+        return cond;
+    };
+
+    for (unsigned op = 0; op < o.ops && state->predicate_ok; ++op) {
+        const std::uint64_t kind = rng.below(100);
+        if (kind < 18 || model.empty()) {
+            // Allocate 1-3 pages.
+            const std::uint32_t pages =
+                static_cast<std::uint32_t>(rng.range(1, 3));
+            VAddr va = 0;
+            if (!check(kernel.vmAllocate(self, task, &va,
+                                         pages * kPageSize, true),
+                       "vmAllocate failed"))
+                return;
+            for (std::uint32_t p = 0; p < pages; ++p)
+                model[va + p * kPageSize] = ModelPage{};
+        } else if (kind < 42) {
+            // Write a random page; legality follows the model rights.
+            const VAddr page = randomPage();
+            const auto value = static_cast<std::uint32_t>(rng.next());
+            const bool ok = self.store32(page, value);
+            ModelPage &m = model.at(page);
+            if (protAllows(m.prot, ProtWrite)) {
+                if (!check(ok, "writable page refused a store"))
+                    return;
+                m.value = value;
+            } else if (!check(!ok, "store landed on a read-only page")) {
+                return;
+            }
+        } else if (kind < 64) {
+            // Read a random page and compare against the model.
+            const VAddr page = randomPage();
+            std::uint32_t value = 0;
+            const bool ok = self.load32(page, &value);
+            const ModelPage &m = model.at(page);
+            if (protAllows(m.prot, ProtRead)) {
+                if (!check(ok, "readable page refused a load") ||
+                    !check(value == m.value, "load saw a stale value"))
+                    return;
+            } else if (!check(!ok, "load landed on a ProtNone page")) {
+                return;
+            }
+        } else if (kind < 78) {
+            // Re-protect a random page.
+            const VAddr page = randomPage();
+            static const Prot kChoices[] = {ProtNone, ProtRead,
+                                            ProtReadWrite};
+            const Prot prot = kChoices[rng.below(3)];
+            if (!check(kernel.vmProtect(self, task, page, kPageSize,
+                                        prot),
+                       "vmProtect failed"))
+                return;
+            model.at(page).prot = prot;
+        } else if (kind < 84) {
+            // Virtual-copy a readable page; the copy snapshots the
+            // source's value and then diverges.
+            const VAddr page = randomPage();
+            const ModelPage src = model.at(page);
+            if (!protAllows(src.prot, ProtRead))
+                continue;
+            VAddr copy = 0;
+            if (!check(kernel.vmCopy(self, task, page, kPageSize,
+                                     &copy),
+                       "vmCopy failed"))
+                return;
+            model[copy] = ModelPage{src.value, src.prot};
+            if (protAllows(src.prot, ProtWrite)) {
+                const auto value =
+                    static_cast<std::uint32_t>(rng.next());
+                if (!check(self.store32(copy, value),
+                           "store to a fresh copy failed"))
+                    return;
+                model.at(copy).value = value;
+            }
+            std::uint32_t back = 0;
+            if (!check(self.load32(page, &back),
+                       "source read-back failed") ||
+                !check(back == model.at(page).value,
+                       "copy write moved the source"))
+                return;
+        } else if (kind < 90) {
+            // Remap: deallocate a page and re-allocate the same
+            // address (anywhere=false). Fresh anonymous memory again.
+            const VAddr page = randomPage();
+            if (!check(kernel.vmDeallocate(self, task, page,
+                                           kPageSize),
+                       "vmDeallocate (remap) failed"))
+                return;
+            VAddr va = page;
+            if (!check(kernel.vmAllocate(self, task, &va, kPageSize,
+                                         false),
+                       "fixed re-allocate failed") ||
+                !check(va == page, "fixed re-allocate moved"))
+                return;
+            model.at(page) = ModelPage{};
+        } else if (o.fork_churn && kind < 95) {
+            // Fork churn: share one readable page into a child task,
+            // read it back from the child, tear the child down.
+            const VAddr page = randomPage();
+            const ModelPage &m = model.at(page);
+            if (!protAllows(m.prot, ProtRead))
+                continue;
+            if (!check(kernel.vmInherit(self, task, page, kPageSize,
+                                        vm::Inherit::Share),
+                       "vmInherit failed"))
+                return;
+            vm::Task *child =
+                kernel.forkTask(self, task, "vmgen-child");
+            if (!check(child != nullptr, "forkTask failed"))
+                return;
+            std::uint32_t got = 0;
+            if (!check(kernel.vmRead(self, *child, page, &got, 4),
+                       "child vmRead failed") ||
+                !check(got == m.value,
+                       "child saw a value the parent never shared"))
+                return;
+            kernel.destroyTask(self, child);
+        } else {
+            // Deallocate a random page; it must then be unmapped.
+            const VAddr page = randomPage();
+            if (!check(kernel.vmDeallocate(self, task, page,
+                                           kPageSize),
+                       "vmDeallocate failed"))
+                return;
+            model.erase(page);
+            std::uint32_t value = 0;
+            if (!check(!self.load32(page, &value),
+                       "load succeeded on an unmapped page"))
+                return;
+        }
+    }
+
+    // Full final sweep against the model.
+    for (const auto &[page, m] : model) {
+        std::uint32_t value = 0;
+        const bool ok = self.load32(page, &value);
+        if (protAllows(m.prot, ProtRead)) {
+            if (!check(ok, "final sweep load failed") ||
+                !check(value == m.value, "final sweep mismatch"))
+                return;
+        } else if (!check(!ok, "final sweep read a ProtNone page")) {
+            return;
+        }
+    }
+}
+
+} // namespace
+
+Scenario
+vmgenScenario(const VmGenOptions &opt)
+{
+    Scenario s;
+    s.name = "vmgen-" + std::to_string(opt.seed) +
+             (opt.numa_nodes > 1
+                  ? "x" + std::to_string(opt.numa_nodes)
+                  : "");
+    s.summary = "generated VM-op sequence vs the reference model";
+    s.config.ncpus = opt.ncpus;
+    s.config.seed = 0x5eed0000ull + opt.seed;
+    if (opt.numa_nodes > 1)
+        s.config.numa_nodes = opt.numa_nodes;
+    s.bound = opt.bound;
+    const VmGenOptions o = opt;
+    s.launch = [o](vm::Kernel &kernel, ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "vmgen-driver",
+            [kp, state, o](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                vm::Task *task = kernel.createTask("vmgen");
+                VAddr anchor = 0;
+                if (!kernel.vmAllocate(drv, *task, &anchor, kPageSize,
+                                       true)) {
+                    fail(state, "vmgen: anchor vmAllocate failed");
+                    state->finished = true;
+                    kernel.machine().ctx().requestStop();
+                    return;
+                }
+                // Read-only touchers keep the task's pmap live on the
+                // other CPUs (spread across nodes when there are
+                // several), so every protection reduction the op
+                // sequence performs is a real cross-CPU shootdown.
+                // They never write, so they cannot perturb the model.
+                bool stop = false;
+                const unsigned ncpus = kernel.machine().ncpus();
+                std::vector<kern::Thread *> touchers;
+                const unsigned n_touch =
+                    ncpus > 2 ? 2 : (ncpus > 1 ? 1 : 0);
+                for (unsigned i = 0; i < n_touch; ++i) {
+                    const std::int64_t pin =
+                        i == 0 ? 1
+                               : static_cast<std::int64_t>(ncpus - 1);
+                    touchers.push_back(kernel.spawnThread(
+                        task, "vmgen-touch",
+                        [anchor, &stop](kern::Thread &self) {
+                            while (!stop) {
+                                self.access(anchor, ProtRead);
+                                self.cpu().advance(250 * kUsec);
+                            }
+                        },
+                        pin));
+                }
+                kern::Thread *body = kernel.spawnThread(
+                    task, "vmgen-body",
+                    [kp, state, o, task](kern::Thread &self) {
+                        runOps(*kp, self, *task, o, state);
+                    },
+                    0);
+                drv.join(*body);
+                stop = true;
+                for (kern::Thread *t : touchers)
+                    drv.join(*t);
+                if (kernel.machine().cfg().consistency_strategy ==
+                        hw::ConsistencyStrategy::Shootdown &&
+                    kernel.pmaps().shoot().initiated == 0 &&
+                    state->coverage_ok) {
+                    state->coverage_ok = false;
+                    if (state->note.empty())
+                        state->note = "vmgen: no shootdown ran";
+                }
+                state->finished = true;
+                kernel.machine().ctx().requestStop();
+            },
+            0);
+    };
+    return s;
+}
+
+bool
+parseVmgenName(const std::string &name, VmGenOptions *out)
+{
+    const std::string prefix = "vmgen-";
+    if (name.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    const std::string rest = name.substr(prefix.size());
+    if (rest.empty())
+        return false;
+    std::size_t i = 0;
+    std::uint64_t seed = 0;
+    while (i < rest.size() && rest[i] >= '0' && rest[i] <= '9') {
+        seed = seed * 10 + static_cast<std::uint64_t>(rest[i] - '0');
+        ++i;
+    }
+    if (i == 0)
+        return false;
+    VmGenOptions o;
+    o.seed = seed;
+    if (i != rest.size()) {
+        if (rest[i] != 'x')
+            return false;
+        ++i;
+        std::uint64_t nodes = 0;
+        std::size_t start = i;
+        while (i < rest.size() && rest[i] >= '0' && rest[i] <= '9') {
+            nodes = nodes * 10 +
+                    static_cast<std::uint64_t>(rest[i] - '0');
+            ++i;
+        }
+        if (i == start || i != rest.size() || nodes < 2)
+            return false;
+        o.numa_nodes = static_cast<unsigned>(nodes);
+        o.ncpus = 2 * o.numa_nodes;
+    }
+    *out = o;
+    return true;
+}
+
+} // namespace mach::chk

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Property-based scenario generation: random-but-legal VM-op
+ * sequences as checker scenarios.
+ *
+ * vmgenScenario() promotes the reference-model generator behind
+ * tests/vm_fuzz_test.cc into a reusable library: a seeded, fully
+ * deterministic sequence of allocate / write / read / protect / copy
+ * / remap / deallocate operations (plus optional fork churn) runs on
+ * one body thread against a host-side model of what the address space
+ * must contain, while read-only toucher threads on the other CPUs
+ * keep the task's pmap live so every reprotect is a real shootdown.
+ *
+ * The resulting Scenario is legal by construction under *any* delay
+ * perturbation: the model is driven only by the body thread's own
+ * serial op sequence and the touchers never write, so no property
+ * depends on the schedule -- exactly what the explorer needs to
+ * perturb freely. Generated scenarios are auto-enrolled in
+ * builtinScenarios() and resolvable by name ("vmgen-<seed>" /
+ * "vmgen-<seed>x<nodes>") like any hand-written scenario.
+ */
+
+#ifndef MACH_CHK_VMGEN_HH
+#define MACH_CHK_VMGEN_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "chk/scenario.hh"
+
+namespace mach::chk
+{
+
+/** Shape of one generated VM-op scenario. */
+struct VmGenOptions
+{
+    /** Seed for both the op generator and the machine config. */
+    std::uint64_t seed = 1;
+    /** Ops in the generated sequence. */
+    unsigned ops = 160;
+    unsigned ncpus = 4;
+    /** 1 = UMA; >1 adds the NUMA topology (ncpus spread evenly). */
+    unsigned numa_nodes = 1;
+    /** Mix fork/inherit/destroy churn into the sequence. */
+    bool fork_churn = false;
+    /** Liveness bound of the unperturbed run. */
+    Tick bound = 800 * kMsec;
+};
+
+/** The generated scenario ("vmgen-<seed>", "vmgen-<seed>x<nodes>"). */
+Scenario vmgenScenario(const VmGenOptions &opt);
+
+/**
+ * Parse a vmgen scenario name back into its options; returns false
+ * when @p name is not of the vmgen-<seed>[x<nodes>] form. The named
+ * scenarios always use the default op count and CPU shape, so a name
+ * fully determines the scenario -- which is what lets corpus entries
+ * and CLI flags refer to generated scenarios by name alone.
+ */
+bool parseVmgenName(const std::string &name, VmGenOptions *out);
+
+} // namespace mach::chk
+
+#endif // MACH_CHK_VMGEN_HH

@@ -132,7 +132,7 @@ Tlb::l0ClearAll()
 }
 
 TlbEntry *
-Tlb::find(SpaceId space, Vpn vpn)
+Tlb::find(SpaceId space, Vpn vpn, bool fill_l0)
 {
     // L0 fast path: a populated slot is live by invariant (every
     // retire/flush path clears the matching slots), so a key match is
@@ -164,8 +164,10 @@ Tlb::find(SpaceId space, Vpn vpn)
             TlbEntry &entry = base[way];
             if (entryLive(entry) && entry.space == space &&
                 entry.vpn == vpn) {
-                l0Fill(key, static_cast<std::uint32_t>(
-                                &entry - entries_.data()));
+                if (fill_l0) {
+                    l0Fill(key, static_cast<std::uint32_t>(
+                                    &entry - entries_.data()));
+                }
                 return &entry;
             }
         }
@@ -185,7 +187,8 @@ Tlb::find(SpaceId space, Vpn vpn)
         // stay in the chain as tombstones; probe past them.
         if (entryLive(entry) && entry.space == space &&
             entry.vpn == vpn) {
-            l0Fill(key, ei);
+            if (fill_l0)
+                l0Fill(key, ei);
             return &entry;
         }
     }
@@ -251,11 +254,20 @@ Tlb::rebuildIndex()
 void
 Tlb::retireEntry(TlbEntry &entry)
 {
-    SpaceState &st = touchSpace(entry.space_slot);
-    MACH_ASSERT(st.live > 0);
-    MACH_ASSERT(live_count_ > 0);
-    --st.live;
-    --live_count_;
+    if (entryLive(entry)) {
+        SpaceState &st = touchSpace(entry.space_slot);
+        MACH_ASSERT(st.live > 0);
+        MACH_ASSERT(live_count_ > 0);
+        --st.live;
+        --live_count_;
+    } else {
+        // Only the planted chk_skip_l0_invalidate bug can route a
+        // retire to an entry that already left the live set (a stale
+        // L0 slot serving a dead entry to find()); the liveness
+        // accounting must not double-decrement for it. With L0
+        // maintenance intact every caller holds a live entry.
+        MACH_ASSERT(config_->chk_skip_l0_invalidate);
+    }
     entry.valid = false;
     // Single chokepoint for page invalidations, range invalidations,
     // interlocked-writeback retirements, and insert evictions: the L0
@@ -304,8 +316,21 @@ Tlb::lookup(SpaceId space, Vpn vpn, Prot want, PAddr pte_addr)
     result.hit = true;
     result.pfn = entry->pfn;
     result.prot_ok = protAllows(entry->prot, want);
-    if (!result.prot_ok)
+    if (!result.prot_ok) {
+        if (!entryLive(*entry)) {
+            // A populated L0 slot over a dead entry is reachable only
+            // when the planted bug suppressed the L0 maintenance. When
+            // the stale rights also deny the access, report a miss so
+            // the reload path re-walks and refreshes this entry with
+            // the current PTE image -- otherwise the faulting access
+            // retries against the same stale rights forever. (When the
+            // stale rights suffice, the entry is served as-is: that
+            // stale window is exactly the hazard the checker hunts.)
+            MACH_ASSERT(config_->chk_skip_l0_invalidate);
+            result.hit = false;
+        }
         return result;
+    }
 
     // Hardware maintenance of reference/modify bits. On the first write
     // through a cached entry the baseline TLB writes its image of the
@@ -383,7 +408,7 @@ Tlb::insert(SpaceId space, Vpn vpn, Pfn pfn, Prot prot, bool mod)
 void
 Tlb::invalidatePage(SpaceId space, Vpn vpn)
 {
-    if (TlbEntry *entry = find(space, vpn)) {
+    if (TlbEntry *entry = find(space, vpn, /*fill_l0=*/false)) {
         retireEntry(*entry);
         ++single_invalidates;
     }

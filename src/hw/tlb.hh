@@ -244,7 +244,15 @@ class Tlb
     void fillEntry(TlbEntry &entry, SpaceId space, Vpn vpn, Pfn pfn,
                    Prot prot, bool mod);
 
-    TlbEntry *find(SpaceId space, Vpn vpn);
+    /**
+     * Locate the live entry for (space, vpn), or null. @p fill_l0
+     * caches a slow-path hit in the L0; invalidation probes pass
+     * false -- maintenance must not allocate into a translation
+     * cache it is about to clear (under the planted
+     * chk_skip_l0_invalidate bug that allocation would plant the
+     * very stale slot the protocol was retiring, on every drain).
+     */
+    TlbEntry *find(SpaceId space, Vpn vpn, bool fill_l0 = true);
     const TlbEntry *find(SpaceId space, Vpn vpn) const;
 
     // Fully-associative (hash index) machinery.

@@ -1,0 +1,136 @@
+#include "obs/signature.hh"
+
+#include <cstring>
+#include <map>
+
+namespace mach::obs
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t
+foldByte(std::uint64_t h, unsigned char b)
+{
+    h ^= b;
+    h *= kFnvPrime;
+    return h;
+}
+
+std::uint64_t
+foldU64(std::uint64_t h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        h = foldByte(h, static_cast<unsigned char>((v >> (8 * i)) &
+                                                   0xff));
+    return h;
+}
+
+} // namespace
+
+namespace
+{
+
+/** Fold one event's schedule-relevant fields (never its timestamp). */
+std::uint64_t
+foldEvent(std::uint64_t h, const Event &e)
+{
+    h = foldByte(h, static_cast<unsigned char>(e.phase));
+    h = foldU64(h, e.track);
+    for (const char *p = e.name; p != nullptr && *p != '\0'; ++p)
+        h = foldByte(h, static_cast<unsigned char>(*p));
+    // Span arguments carry the interleaving class the event names
+    // alone miss: a drain's queued-action depth, a sync's waiting_on
+    // count, an IPI's target fan-out, a fault's address. They are
+    // schedule-dependent values, never timestamps, so folding them
+    // keeps the signature stable across recording/host-cache modes
+    // while separating e.g. a one-action drain from the two-action
+    // drain only a parked responder produces.
+    for (const Arg *arg : {&e.arg0, &e.arg1}) {
+        if (arg->key == nullptr)
+            continue;
+        for (const char *p = arg->key; *p != '\0'; ++p)
+            h = foldByte(h, static_cast<unsigned char>(*p));
+        h = foldU64(h, arg->value);
+    }
+    return h;
+}
+
+} // namespace
+
+std::vector<std::uint64_t>
+interleavingSignatures(const Recorder &rec)
+{
+    std::vector<std::uint64_t> out;
+    std::uint64_t h = kFnvOffset;
+    bool open_window = false;
+    unsigned depth = 0; // open "shoot" spans across all tracks
+
+    // Per-track rolling context: everything each track did since the
+    // last quiescent window closed (faults taken, dispatches, TLB
+    // maintenance). Folded into the window hash at window close, this
+    // is the "where was every CPU when the protocol ran" half of the
+    // interleaving -- the half that distinguishes a responder parked
+    // mid-reload from one idling between beats even when the protocol
+    // events themselves are identical. std::map for deterministic
+    // track order.
+    std::map<std::uint64_t, std::uint64_t> context;
+
+    for (const Event &e : rec.events()) {
+        // Span-end events carry only the span's name (Recorder::end
+        // drops the category), so protocol membership is decided by
+        // category for 'B'/'i' events and by name prefix for 'E'.
+        const bool is_shoot =
+            (e.category != nullptr &&
+             std::strcmp(e.category, "shoot") == 0) ||
+            (e.phase == 'E' && e.name != nullptr &&
+             std::strncmp(e.name, "shoot.", 6) == 0);
+        if (!is_shoot) {
+            std::uint64_t &c = context[e.track];
+            if (c == 0)
+                c = kFnvOffset;
+            c = foldEvent(c, e);
+            continue;
+        }
+        if (e.phase == 'B')
+            ++depth;
+        else if (e.phase == 'E' && depth > 0)
+            --depth;
+
+        h = foldEvent(h, e);
+        open_window = true;
+
+        if (depth == 0) { // quiescent again: the window is complete
+            for (const auto &[track, c] : context) {
+                h = foldU64(h, track);
+                h = foldU64(h, c);
+            }
+            context.clear();
+            out.push_back(h);
+            h = kFnvOffset;
+            open_window = false;
+        }
+    }
+    if (open_window) { // a span the run never closed still counts
+        for (const auto &[track, c] : context) {
+            h = foldU64(h, track);
+            h = foldU64(h, c);
+        }
+        out.push_back(h);
+    }
+    return out;
+}
+
+std::uint64_t
+signatureListHash(const std::vector<std::uint64_t> &sigs)
+{
+    std::uint64_t h = kFnvOffset;
+    for (const std::uint64_t s : sigs)
+        h = foldU64(h, s);
+    return h;
+}
+
+} // namespace mach::obs

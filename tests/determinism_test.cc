@@ -13,6 +13,8 @@
 #include "apps/camelot.hh"
 #include "apps/consistency_tester.hh"
 #include "base/perturb.hh"
+#include "chk/explorer.hh"
+#include "chk/scenario.hh"
 #include "hw/tlb.hh"
 #include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
@@ -291,6 +293,58 @@ TEST(DeterminismDigest, PerturbedReplaysMatchGolden)
         EXPECT_NE(first, perturbedDigest(c.seed, ""))
             << "schedule " << c.schedule;
     }
+}
+
+TEST(DeterminismDigest, InterleavingSignaturesAreStable)
+{
+    // The fuzzer's coverage signal must be a property of the schedule,
+    // not of how the trial was observed: the same (scenario, schedule)
+    // pair yields the same per-window signature list run after run,
+    // with or without the Perfetto exporter attached, and with the
+    // host-speed caches (machsim --no-l0) on or off. If any of these
+    // diverge, corpus buckets stop naming interleavings and the
+    // guided campaign chases observation noise.
+    setLogQuiet(true);
+    const std::vector<chk::Scenario> library = chk::builtinScenarios();
+    const chk::Scenario *storm =
+        chk::findScenario(library, "storm-baseline");
+    ASSERT_NE(storm, nullptr);
+
+    SchedulePerturber perturber;
+    ASSERT_TRUE(SchedulePerturber::parse("e120+350000,b40+48000",
+                                         &perturber, nullptr));
+
+    const chk::Explorer explorer;
+    const chk::TrialResult once =
+        explorer.runTrialSigned(*storm, perturber);
+    ASSERT_FALSE(once.signatures.empty());
+    const chk::TrialResult again =
+        explorer.runTrialSigned(*storm, perturber);
+    EXPECT_EQ(once.signatures, again.signatures);
+    EXPECT_EQ(once.digest, again.digest);
+
+    // Signing is observation, not simulation: the unsigned trial and
+    // a fully recorded trial reproduce the same digest.
+    const chk::TrialResult unsigned_run =
+        explorer.runTrial(*storm, perturber);
+    EXPECT_TRUE(unsigned_run.signatures.empty());
+    EXPECT_EQ(unsigned_run.digest, once.digest);
+    std::string trace_json;
+    const chk::TrialResult recorded =
+        explorer.runTrialRecorded(*storm, perturber, &trace_json);
+    EXPECT_EQ(recorded.digest, once.digest);
+    EXPECT_FALSE(trace_json.empty());
+
+    // Host caches are timing-neutral (HostCachesAreTimingNeutral), so
+    // they must also be signature-neutral: the --no-l0 twin of the
+    // scenario visits the same interleaving windows.
+    chk::Scenario no_l0 = *storm;
+    no_l0.config.tlb_l0_entries = 0;
+    no_l0.config.host_walk_cache = false;
+    const chk::TrialResult uncached =
+        explorer.runTrialSigned(no_l0, perturber);
+    EXPECT_EQ(uncached.signatures, once.signatures);
+    EXPECT_EQ(uncached.digest, once.digest);
 }
 
 } // namespace

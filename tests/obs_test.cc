@@ -18,6 +18,9 @@
 
 #include "apps/consistency_tester.hh"
 #include "base/logging.hh"
+#include "base/perturb.hh"
+#include "chk/explorer.hh"
+#include "chk/scenario.hh"
 #include "obs/metrics.hh"
 #include "obs/recorder.hh"
 #include "obs/sampler.hh"
@@ -226,9 +229,11 @@ parseTraceEvents(const std::string &json)
     return events;
 }
 
-/** Every 'B' has a matching 'E' and per-track time never rewinds. */
+/** Every 'B' has a matching 'E' and per-track time never rewinds.
+ *  @p expect_counters is false for runs without a Sampler attached. */
 void
-validateSpanBalance(const std::vector<ParsedEvent> &events)
+validateSpanBalance(const std::vector<ParsedEvent> &events,
+                    bool expect_counters = true)
 {
     std::vector<std::vector<std::string>> stacks;
     std::vector<Tick> last_ts;
@@ -278,7 +283,8 @@ validateSpanBalance(const std::vector<ParsedEvent> &events)
     EXPECT_GT(counts[0], 0u) << "no spans";
     EXPECT_GT(counts[1], 0u) << "no span ends";
     EXPECT_GT(counts[2], 0u) << "no instants";
-    EXPECT_GT(counts[3], 0u) << "no counter samples";
+    if (expect_counters)
+        EXPECT_GT(counts[3], 0u) << "no counter samples";
 }
 
 /**
@@ -332,6 +338,28 @@ TEST(ObsTrace, TesterRunBalancesSpansAcrossCpuTracks)
     const std::vector<ParsedEvent> events = parseTraceEvents(json);
     ASSERT_GT(events.size(), 50u);
     validateSpanBalance(events);
+}
+
+TEST(ObsTrace, GeneratedScenarioTraceBalancesSpans)
+{
+    // The property-based scenario generator (chk/vmgen.hh) emits
+    // random-but-legal VM-op sequences; whatever sequence a seed
+    // produces, the recorded trace must still be a well-formed span
+    // tree on every track -- the fuzzer's coverage signal
+    // (obs/signature.hh) assumes exactly this nesting discipline.
+    setLogQuiet(true);
+    chk::Scenario scenario;
+    ASSERT_TRUE(chk::resolveScenario("vmgen-1", &scenario));
+    std::string json;
+    const chk::Explorer explorer;
+    const chk::TrialResult trial =
+        explorer.runTrialRecorded(scenario, SchedulePerturber(), &json);
+    EXPECT_FALSE(trial.failed()) << trial.note;
+    EXPECT_NE(json.find("\"shoot.initiate\""), std::string::npos);
+    EXPECT_NE(json.find("\"shoot.respond\""), std::string::npos);
+    const std::vector<ParsedEvent> events = parseTraceEvents(json);
+    ASSERT_GT(events.size(), 50u);
+    validateSpanBalance(events, /*expect_counters=*/false);
 }
 
 TEST(ObsTrace, RecordingDoesNotPerturbTheRun)

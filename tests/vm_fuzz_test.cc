@@ -12,6 +12,7 @@
 
 #include <map>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "vm/kernel.hh"
@@ -28,17 +29,22 @@ struct ModelPage
     Prot prot = ProtReadWrite;
 };
 
-class VmFuzz : public ::testing::TestWithParam<std::uint64_t>
+/** (seed, NUMA node count): every seed runs on the single-bus
+ *  Multimax shape and on a 2-node machine, where allocations and
+ *  shootdowns cross node boundaries. */
+class VmFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>>
 {
 };
 
 TEST_P(VmFuzz, MatchesReferenceModel)
 {
-    const std::uint64_t seed = GetParam();
+    const std::uint64_t seed = std::get<0>(GetParam());
     setLogQuiet(true);
     hw::MachineConfig config;
     config.ncpus = 4;
     config.seed = seed;
+    config.numa_nodes = std::get<1>(GetParam());
     vm::Kernel kernel(config);
     kernel.start();
 
@@ -100,7 +106,7 @@ TEST_P(VmFuzz, MatchesReferenceModel)
                         } else {
                             ASSERT_FALSE(ok);
                         }
-                    } else if (kind < 85) {
+                    } else if (kind < 83) {
                         // Re-protect a random page.
                         const VAddr page = random_page();
                         static const Prot kChoices[] = {
@@ -110,6 +116,29 @@ TEST_P(VmFuzz, MatchesReferenceModel)
                         ASSERT_TRUE(kernel.vmProtect(
                             self, *task, page, kPageSize, prot));
                         model.at(page).prot = prot;
+                    } else if (kind < 88) {
+                        // Remap: move a page's contents to a fresh
+                        // mapping (munmap + mmap + carry the value),
+                        // exercising address reuse right after a
+                        // deallocation's shootdown.
+                        const VAddr page = random_page();
+                        const ModelPage m = model.at(page);
+                        std::uint32_t carried = 0;
+                        const bool readable =
+                            protAllows(m.prot, ProtRead);
+                        if (readable)
+                            ASSERT_TRUE(self.load32(page, &carried));
+                        ASSERT_TRUE(kernel.vmDeallocate(
+                            self, *task, page, kPageSize));
+                        model.erase(page);
+                        VAddr fresh = 0;
+                        ASSERT_TRUE(kernel.vmAllocate(
+                            self, *task, &fresh, kPageSize, true));
+                        model[fresh] = ModelPage{};
+                        if (readable) {
+                            ASSERT_TRUE(self.store32(fresh, carried));
+                            model.at(fresh).value = carried;
+                        }
                     } else if (kind < 93) {
                         // Virtual-copy a random page; the copy gets
                         // the source's current value, then diverges.
@@ -168,9 +197,12 @@ TEST_P(VmFuzz, MatchesReferenceModel)
     EXPECT_TRUE(kernel.pmaps().auditTlbConsistency().empty());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzz,
-                         ::testing::Values(11, 22, 33, 44, 55, 66, 77,
-                                           88));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, VmFuzz,
+    ::testing::Combine(::testing::Values(11, 22, 33, 44, 55, 66, 77,
+                                         88, 101, 112, 123, 134, 145,
+                                         156, 167, 178),
+                       ::testing::Values(1u, 2u)));
 
 // ---------------------------------------------------------------------
 // The same fuzz under memory pressure: the pageout daemon steals pages

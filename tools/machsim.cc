@@ -31,6 +31,7 @@
 #include "base/stats.hh"
 #include "base/trace.hh"
 #include "farm/farm.hh"
+#include "chk/corpus.hh"
 #include "chk/explorer.hh"
 #include "chk/oracle.hh"
 #include "chk/scenario.hh"
@@ -80,6 +81,20 @@ struct Options
     std::string schedule;
     /** Checker scenario for --app chk. */
     std::string scenario = "storm-baseline";
+    /** Persistent corpus directory for --explore campaigns. */
+    std::string corpus_dir;
+    /** Probe budget: run a coverage-guided campaign, not a replay. */
+    unsigned explore_budget = 0;
+    /** --explore without the coverage guidance (blind sampling). */
+    bool explore_blind = false;
+    /**
+     * Systematic-sweep share of the --explore budget; the sentinel
+     * keeps the default 30% split. Zero isolates the guided (or
+     * blind) phase for coverage-vs-blind comparisons.
+     */
+    unsigned systematic_budget = ~0u;
+    /** "center:halfwidth" for the exhaustive small-window mode. */
+    std::string exhaustive_window;
     /** Attach the stale-translation oracle to the run. */
     bool oracle = false;
     /** Timeline trace output (Chrome Trace Event JSON). */
@@ -176,7 +191,24 @@ usage()
         "  --app chk           run a checker scenario instead of a\n"
         "                      workload (oracle always attached)\n"
         "  --scenario NAME     which scenario --app chk runs; 'list'\n"
-        "                      prints the library\n"
+        "                      prints the library (vmgen-<seed> and\n"
+        "                      vmgen-<seed>x<nodes> names generate\n"
+        "                      property-based scenarios on demand)\n"
+        "  --explore N         run a coverage-guided exploration\n"
+        "                      campaign (N probes) over the scenario\n"
+        "                      instead of one replay\n"
+        "  --blind             make --explore sample blindly (the\n"
+        "                      pre-coverage explorer; for comparisons)\n"
+        "  --systematic N      give the systematic sweep N of the\n"
+        "                      --explore probes (default 30%%; 0\n"
+        "                      isolates guided-vs-blind probing)\n"
+        "  --corpus DIR        persistent corpus for --explore:\n"
+        "                      coverage-novel schedules are stored in\n"
+        "                      DIR and campaigns resume from it\n"
+        "                      (docs/CHECKER.md)\n"
+        "  --exhaustive-window C:K   enumerate every delay placement\n"
+        "                      (singles + pairs) in the event window\n"
+        "                      [C-K, C+K] instead of sampling\n"
         "\nobservability:\n"
         "  --trace SPEC        e.g. shootdown,pmap,vm (to stderr)\n"
         "  --trace-json FILE   write the run's timeline (spans,\n"
@@ -289,6 +321,18 @@ parse(int argc, char **argv, Options *opt)
             opt->schedule = need_value(i);
         } else if (flag == "--scenario") {
             opt->scenario = need_value(i);
+        } else if (flag == "--corpus") {
+            opt->corpus_dir = need_value(i);
+        } else if (flag == "--explore") {
+            opt->explore_budget =
+                static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--blind") {
+            opt->explore_blind = true;
+        } else if (flag == "--systematic") {
+            opt->systematic_budget =
+                static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--exhaustive-window") {
+            opt->exhaustive_window = need_value(i);
         } else if (flag == "--oracle") {
             opt->oracle = true;
         } else if (flag == "--trace-json") {
@@ -574,31 +618,113 @@ runBatch(const Options &opt, const SchedulePerturber &perturber)
  * This is how a minimized schedule printed by the explorer (or by
  * CI's failure artifacts) is reproduced from the command line.
  */
+/** Shared report for explore / exhaustive campaign results. */
+int
+reportCampaign(const chk::ExploreResult &res, const chk::Corpus *corpus,
+               const std::string &scenario_name)
+{
+    std::printf("trials: %u (%u duplicate probe(s) skipped, %u "
+                "coverage-novel)\n",
+                res.trials, res.duplicate_probes_skipped,
+                res.coverage_novel);
+    if (corpus != nullptr)
+        std::printf("corpus: %zu bucket(s), %zu entr(ies)%s%s\n",
+                    corpus->buckets(scenario_name),
+                    corpus->entries().size(),
+                    corpus->dir().empty() ? "" : " in ",
+                    corpus->dir().c_str());
+    if (res.baseline_failed) {
+        std::printf("baseline FAILED: %s\n",
+                    res.baseline.note.c_str());
+        return 1;
+    }
+    if (res.failures == 0) {
+        std::printf("no failing schedule found\n");
+        return 0;
+    }
+    std::printf("failures: %u\nfirst failing schedule: %s\n"
+                "minimized: %s\n",
+                res.failures, res.first_failing.format().c_str(),
+                res.minimized_schedule.c_str());
+    for (const std::string &v : res.minimized_result.violations)
+        std::printf("  %s\n", v.c_str());
+    if (!res.minimized_result.note.empty())
+        std::printf("note: %s\n", res.minimized_result.note.c_str());
+    return 1;
+}
+
 int
 runCheckerScenario(const Options &opt,
                    const SchedulePerturber &perturber)
 {
-    const std::vector<chk::Scenario> library = chk::builtinScenarios();
     if (opt.scenario == "list") {
-        for (const chk::Scenario &s : library)
+        for (const chk::Scenario &s : chk::builtinScenarios())
             std::printf("%-22s %s\n", s.name.c_str(),
                         s.summary.c_str());
         std::printf("%-22s %s\n", "broken-stall",
                     chk::brokenStallScenario().summary.c_str());
         std::printf("%-22s %s\n", "broken-replica",
                     chk::brokenReplicaScenario().summary.c_str());
+        std::printf("%-22s %s\n", "broken-l0",
+                    chk::brokenL0Scenario().summary.c_str());
         return 0;
     }
-    const chk::Scenario broken = chk::brokenStallScenario();
-    const chk::Scenario broken_replica = chk::brokenReplicaScenario();
-    const chk::Scenario *scenario =
-        opt.scenario == broken.name ? &broken
-        : opt.scenario == broken_replica.name
-            ? &broken_replica
-            : chk::findScenario(library, opt.scenario);
-    if (scenario == nullptr)
+    chk::Scenario resolved;
+    if (!chk::resolveScenario(opt.scenario, &resolved))
         fatal("unknown --scenario '%s' (try --scenario list)",
               opt.scenario.c_str());
+    const chk::Scenario *scenario = &resolved;
+
+    const auto log = [](const std::string &msg) {
+        std::printf("  %s\n", msg.c_str());
+    };
+
+    if (!opt.exhaustive_window.empty()) {
+        // --exhaustive-window C:K -- the bounded, complete enumeration.
+        chk::ExhaustiveWindow window;
+        char *end = nullptr;
+        window.center =
+            strtoull(opt.exhaustive_window.c_str(), &end, 0);
+        if (end == nullptr || *end != ':')
+            fatal("bad --exhaustive-window '%s' (want "
+                  "center:halfwidth)",
+                  opt.exhaustive_window.c_str());
+        window.halfwidth = strtoull(end + 1, nullptr, 0);
+        std::printf("machsim: chk scenario %s, exhaustive window "
+                    "%llu +- %llu\n",
+                    scenario->name.c_str(),
+                    static_cast<unsigned long long>(window.center),
+                    static_cast<unsigned long long>(window.halfwidth));
+        chk::Explorer explorer(log, farmOptions(opt));
+        const chk::ExploreResult res =
+            explorer.exploreExhaustive(*scenario, window);
+        return reportCampaign(res, nullptr, scenario->name);
+    }
+
+    if (opt.explore_budget != 0) {
+        // --explore N -- a coverage-guided (or --blind) campaign.
+        chk::Corpus corpus(opt.corpus_dir);
+        chk::ExploreOptions eopt;
+        eopt.systematic_budget =
+            opt.systematic_budget != ~0u
+                ? std::min(opt.systematic_budget, opt.explore_budget)
+                : opt.explore_budget * 3 / 10;
+        eopt.random_budget =
+            opt.explore_budget - eopt.systematic_budget;
+        eopt.coverage_guided = !opt.explore_blind;
+        eopt.corpus = &corpus;
+        std::printf("machsim: chk scenario %s, %s exploration, %u "
+                    "probe budget%s%s\n",
+                    scenario->name.c_str(),
+                    eopt.coverage_guided ? "coverage-guided" : "blind",
+                    opt.explore_budget,
+                    opt.corpus_dir.empty() ? "" : ", corpus ",
+                    opt.corpus_dir.c_str());
+        chk::Explorer explorer(log, farmOptions(opt));
+        const chk::ExploreResult res =
+            explorer.explore(*scenario, eopt);
+        return reportCampaign(res, &corpus, scenario->name);
+    }
 
     std::printf("machsim: chk scenario %s, schedule \"%s\"\n",
                 scenario->name.c_str(), perturber.format().c_str());
