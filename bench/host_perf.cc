@@ -592,6 +592,9 @@ benchBenchSweep()
     r.name = "bench_sweep";
     r.metric = "sweep_speedup_x";
     r.extras.emplace_back("farm_jobs", width);
+    // Report the actual host parallelism next to the clamped width:
+    // a 1.9x speedup means something different on 2 cores than on 32.
+    r.extras.emplace_back("host_cores", bench::hostCores());
     if (width <= 1) {
         r.host_ms = elapsedMs(begin);
         r.rate = 1.0;

@@ -7,6 +7,7 @@
 #include "chk/vmgen.hh"
 #include "kern/cpu.hh"
 #include "kern/thread.hh"
+#include "pmap/policy.hh"
 #include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
 #include "vm/task.hh"
@@ -459,6 +460,145 @@ storm(std::string name, std::string summary, hw::MachineConfig config,
     return s;
 }
 
+/** A small tagged-TLB machine running the LazyAsid policy. */
+hw::MachineConfig
+lazyAsidConfig()
+{
+    hw::MachineConfig config = smallConfig(4);
+    config.shootdown_policy = hw::ShootdownPolicy::LazyAsid;
+    config.tlb_asid_tags = true;
+    // No scheduler timer: a tick landing while the driver is mid-op
+    // can park it until the *next* tick (up to a full period), which
+    // would push an unperturbed revoke out of the writer's on-CPU
+    // window and make the baseline's in-window timing nondeterministic
+    // in practice. All threads here block voluntarily, so dispatch
+    // stays prompt without preemption.
+    config.timer_period = 0;
+    return config;
+}
+
+/**
+ * The lazy-ASID alternation: a writer in task A pinned to CPU 1
+ * alternates with a filler thread in task B on the same processor, so
+ * A's tagged TLB entries survive on CPU 1 while B's space is the
+ * current one there. The driver (CPU 0) keys each revocation off the
+ * writer's touch signal: unperturbed, the revoke lands inside the
+ * writer's 500 us on-CPU window, A is current on CPU 1, and the
+ * policy takes the ordinary IPI path -- the run survives even with
+ * the generation check planted out. Only a schedule that delays the
+ * revoke into the writer's 2.5 ms sleep makes CPU 1 a deferred-flush
+ * target; the healthy context-load hook then flushes A's stale
+ * entries when the writer wakes, while the planted bug
+ * (chk_skip_asid_gen_check) leaves the revoked translation live and
+ * the writer's next store lands through it.
+ *
+ * After the writer exits, one more revocation is issued while the
+ * filler's space is current: that one must take the deferred path
+ * even unperturbed, which is the baseline coverage check that the
+ * lazy machinery engaged at all.
+ */
+Scenario::Launch
+lazyAsidLaunch()
+{
+    return [](vm::Kernel &kernel, ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "chk-driver",
+            [kp, state](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                vm::Task *task = kernel.createTask("chk-asid");
+                vm::Task *other = kernel.createTask("chk-asid-b");
+                VAddr target = 0;
+                VAddr fill = 0;
+                if (!kernel.vmAllocate(drv, *task, &target, kPageSize,
+                                       true) ||
+                    !kernel.vmAllocate(drv, *other, &fill, kPageSize,
+                                       true)) {
+                    failPredicate(state, "vmAllocate failed");
+                    finish(kernel, state);
+                    return;
+                }
+                bool stop_writer = false;
+                bool stop_filler = false;
+                // Touch signal, bumped right after each store; the
+                // driver keys its revoke off it so the revoke lands
+                // while the writer still owns its on-CPU window.
+                std::uint32_t beat = 0;
+                kern::Thread *writer = kernel.spawnThread(
+                    task, "chk-kid",
+                    [kp, target, &stop_writer,
+                     &beat](kern::Thread &self) {
+                        vm::Kernel &kernel = *kp;
+                        std::uint32_t n = 0;
+                        while (!stop_writer) {
+                            kern::AccessResult r =
+                                self.access(target, ProtWrite);
+                            if (r.ok)
+                                kernel.machine().mem().write32(
+                                    r.paddr, ++n);
+                            else
+                                self.access(target, ProtRead);
+                            ++beat;
+                            // On-CPU window: A stays current here. It
+                            // must comfortably cover the driver's
+                            // beat-to-revoke latency (the vm op's
+                            // kernel section and map walk are a few
+                            // hundred us), so only an injected delay
+                            // pushes the revoke past it.
+                            self.cpu().advance(2000 * kUsec);
+                            // Off-CPU window: the filler's space is
+                            // context-loaded over A's.
+                            self.sleep(2500 * kUsec);
+                        }
+                    },
+                    1);
+                kern::Thread *filler = kernel.spawnThread(
+                    other, "chk-filler",
+                    [fill, &stop_filler](kern::Thread &self) {
+                        while (!stop_filler) {
+                            self.access(fill, ProtRead);
+                            self.compute(200 * kUsec);
+                            // Voluntary yield: with the scheduler
+                            // timer off, the woken writer is only
+                            // dispatched at a block point, so keep
+                            // them frequent.
+                            self.sleep(100 * kUsec);
+                        }
+                    },
+                    1);
+                drv.sleep(4 * kMsec);
+                for (unsigned round = 0; round < 3; ++round) {
+                    const std::uint32_t seen = beat;
+                    while (beat == seen && !state->finished)
+                        drv.sleep(20 * kUsec);
+                    // The 4 ms settle spans the writer's wakeup (its
+                    // 2.5 ms sleep plus the filler's sub-300-us
+                    // dispatch grain), so a store through a stale
+                    // surviving entry always lands inside the watch.
+                    watchRevoked(kernel, drv, *task, target, 1,
+                                 4 * kMsec, state, "asid", round);
+                    drv.sleep(2 * kMsec);
+                }
+                stop_writer = true;
+                drv.join(*writer);
+                // Coverage revoke: A cannot be current on CPU 1 now.
+                if (!kernel.vmProtect(drv, *task, target, kPageSize,
+                                      ProtRead))
+                    failPredicate(state, "vmProtect(cover) failed");
+                stop_filler = true;
+                drv.join(*filler);
+                if (kernel.pmaps()
+                        .shoot()
+                        .policy()
+                        .flushes_deferred == 0)
+                    failCoverage(state, "asid: no deferred flush");
+                finish(kernel, state);
+            },
+            0);
+    };
+}
+
 } // namespace
 
 std::vector<Scenario>
@@ -655,6 +795,20 @@ builtinScenarios()
         out.push_back(s);
     }
 
+    {
+        // Healthy twin of broken-asid: same machine, same schedule
+        // sensitivity, but the context-load generation check is live,
+        // so every deferred flush is applied before the writer's
+        // space becomes current again.
+        Scenario s;
+        s.name = "policy-lazy-asid";
+        s.summary = "lazy-ASID deferred flushes under revocation";
+        s.config = lazyAsidConfig();
+        s.bound = 400 * kMsec;
+        s.launch = lazyAsidLaunch();
+        out.push_back(s);
+    }
+
     // ---- Generated (property-based) scenarios ----------------------
     // Two vmgen entries ride in the library so the explorer lanes and
     // the span-balance validator exercise generated workloads by
@@ -807,6 +961,26 @@ brokenL0Scenario()
     return s;
 }
 
+Scenario
+brokenAsidScenario()
+{
+    Scenario s;
+    s.name = "broken-asid";
+    s.summary = "planted bug: context load skips the ASID check";
+    // Same machine and launch as policy-lazy-asid, but the LazyAsid
+    // context-load hook returns before consulting the deferred-flush
+    // set, so a space whose flush was deferred comes back current
+    // with its revoked translations still live. Unperturbed, every
+    // revoke lands inside the writer's on-CPU window (no defer on
+    // CPU 1), so the run survives; detection requires a schedule that
+    // pushes a revoke into the writer's sleep.
+    s.config = lazyAsidConfig();
+    s.config.chk_skip_asid_gen_check = true;
+    s.bound = 400 * kMsec;
+    s.launch = lazyAsidLaunch();
+    return s;
+}
+
 const Scenario *
 findScenario(const std::vector<Scenario> &library,
              const std::string &name)
@@ -831,6 +1005,10 @@ resolveScenario(const std::string &name, Scenario *out)
     }
     if (name == "broken-l0") {
         *out = brokenL0Scenario();
+        return true;
+    }
+    if (name == "broken-asid") {
+        *out = brokenAsidScenario();
         return true;
     }
     VmGenOptions g;

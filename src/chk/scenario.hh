@@ -110,6 +110,24 @@ Scenario brokenReplicaScenario();
  */
 Scenario brokenL0Scenario();
 
+/**
+ * The fourth planted bug, aimed at the LazyAsid shootdown-avoidance
+ * policy: MachineConfig::chk_skip_asid_gen_check makes the policy's
+ * context-load hook return before consulting the deferred-flush set,
+ * so a space whose flush was deferred (the target CPU was running
+ * another space when the revocation fired) comes back current with
+ * its revoked translations still live in the tagged TLB. A writer in
+ * task A alternates 2 ms on-CPU / 2.5 ms asleep on CPU 1 while a
+ * filler in task B keeps B's space current there; the driver keys
+ * each revoke off the writer's beat, so unperturbed it always lands
+ * in the on-CPU window (ordinary IPI path, baseline survives). A
+ * schedule that delays the revoke into the sleep makes CPU 1 a
+ * deferred target, and the writer's next store after waking lands
+ * through the stale entry. The healthy twin is the library's
+ * "policy-lazy-asid" scenario.
+ */
+Scenario brokenAsidScenario();
+
 /** Scenario by name from @p library, or null. */
 const Scenario *findScenario(const std::vector<Scenario> &library,
                              const std::string &name);
@@ -118,7 +136,8 @@ const Scenario *findScenario(const std::vector<Scenario> &library,
  * Resolve @p name to a runnable scenario: the built-in library (which
  * includes the generated vmgen entries), any vmgen-<seed>[x<nodes>]
  * name (chk/vmgen.hh), or one of the planted bugs (broken-stall,
- * broken-replica, broken-l0). This is the one name->scenario map the
+ * broken-replica, broken-l0, broken-asid). This is the one
+ * name->scenario map the
  * CLI, the corpus replay test, and the CI lanes share. Returns false
  * when nothing matches.
  */

@@ -78,6 +78,45 @@ MachineConfig::validate() const
     if (tlb_interlocked_refmod && tlb_no_refmod_writeback)
         fatal("MachineConfig: interlocked ref/mod updates and no "
               "writeback at all are mutually exclusive TLB designs");
+    if (shootdown_policy != ShootdownPolicy::Baseline) {
+        if (consistency_strategy == ConsistencyStrategy::DelayedFlush)
+            fatal("MachineConfig: shootdown-avoidance policies layer "
+                  "over the shootdown strategy, not delayed-flush");
+        if (tlb_remote_invalidate)
+            fatal("MachineConfig: tlb_remote_invalidate bypasses the "
+                  "responder protocol the avoidance policies hook");
+    }
+    if (shootdown_policy == ShootdownPolicy::LazyAsid &&
+        !tlb_asid_tags) {
+        fatal("MachineConfig: the lazy-asid policy defers flushes "
+              "across context switches, which only a tagged TLB "
+              "survives; set tlb_asid_tags");
+    }
+    if (shootdown_policy == ShootdownPolicy::ReuseElide) {
+        if (tlb_no_refmod_writeback) {
+            fatal("MachineConfig: the reuse-elide policy proves pages "
+                  "uncached via the reference bit every TLB fill sets; "
+                  "tlb_no_refmod_writeback breaks that proof");
+        }
+        if (!tlb_software_reload) {
+            fatal("MachineConfig: the reuse-elide proof is only "
+                  "race-free when TLB misses stall on a locked pmap, "
+                  "i.e. with software reload (a hardware walker could "
+                  "re-cache a clean page mid-update, after the "
+                  "reference bits were scanned); set "
+                  "tlb_software_reload");
+        }
+    }
+    if (range_flush_crossover < tlb_flush_threshold)
+        fatal("MachineConfig: range_flush_crossover (%u) must be >= "
+              "tlb_flush_threshold (%u)",
+              range_flush_crossover, tlb_flush_threshold);
+    if (chk_skip_asid_gen_check &&
+        shootdown_policy != ShootdownPolicy::LazyAsid) {
+        fatal("MachineConfig: chk_skip_asid_gen_check plants a bug in "
+              "the lazy-asid context-load hook; set shootdown_policy "
+              "to LazyAsid");
+    }
     if (numa_nodes == 0 || numa_nodes > 8)
         fatal("MachineConfig: numa_nodes (%u) out of range [1,8]",
               numa_nodes);
@@ -111,6 +150,41 @@ MachineConfig::validate() const
               "must nest",
               kernel_pools, numa_nodes);
     }
+}
+
+const char *
+shootdownPolicyName(ShootdownPolicy policy)
+{
+    switch (policy) {
+      case ShootdownPolicy::Baseline:
+        return "baseline";
+      case ShootdownPolicy::LazyAsid:
+        return "lazy-asid";
+      case ShootdownPolicy::Batched:
+        return "batched";
+      case ShootdownPolicy::RangeFlush:
+        return "range-flush";
+      case ShootdownPolicy::ReuseElide:
+        return "reuse-elide";
+    }
+    panic("shootdownPolicyName: bad policy %u",
+          static_cast<unsigned>(policy));
+}
+
+bool
+parseShootdownPolicy(const std::string &name, ShootdownPolicy *out)
+{
+    static constexpr ShootdownPolicy kAll[] = {
+        ShootdownPolicy::Baseline, ShootdownPolicy::LazyAsid,
+        ShootdownPolicy::Batched, ShootdownPolicy::RangeFlush,
+        ShootdownPolicy::ReuseElide};
+    for (const ShootdownPolicy policy : kAll) {
+        if (name == shootdownPolicyName(policy)) {
+            *out = policy;
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace mach::hw

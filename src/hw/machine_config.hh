@@ -73,6 +73,54 @@ enum class ConsistencyStrategy : std::uint8_t
 };
 
 /**
+ * Shootdown-avoidance policy layered over the Figure-1 algorithm
+ * (docs/ALGORITHM.md, "Beyond 1989"). Baseline is the paper's eager
+ * protocol; every other policy elides or defers work the 1989
+ * algorithm would have done, and every one of them must keep the
+ * stale-translation oracle clean across the full scenario library.
+ */
+enum class ShootdownPolicy : std::uint8_t
+{
+    /** The paper's Figure-1 algorithm, bit-identical to PR 1-7. */
+    Baseline,
+    /**
+     * ASID-generation lazy invalidation: when the target CPU is not
+     * currently running the pmap's address space (its entries survive
+     * only under tlb_asid_tags), mark the space's tag generation stale
+     * in that TLB instead of interrupting the CPU. The deferred flush
+     * is consumed by the context-load hook the next time the space is
+     * activated there. Requires tlb_asid_tags.
+     */
+    LazyAsid,
+    /**
+     * Batched/coalesced shootdowns: a target that already has its
+     * action flag raised and is inside its responder loop (or has the
+     * IPI still pending) within ipi_coalesce_window of the last IPI
+     * will observe the new queue entry on the same pass, so the
+     * initiator skips the redundant IPI and merges duplicate queue
+     * ranges.
+     */
+    Batched,
+    /**
+     * Range invalidation vs full-space flush: between the per-entry
+     * threshold (tlb_flush_threshold) and range_flush_crossover pages
+     * the responder invalidates the exact range; beyond the crossover
+     * it flushes only the target space's entries instead of the whole
+     * buffer, preserving other spaces' working sets under ASID tags.
+     */
+    RangeFlush,
+    /**
+     * mmap-reuse flush elision (arXiv 2409.10946): skip the shootdown
+     * entirely when every affected PTE is provably cached in no TLB --
+     * valid but never referenced since its last fill, which this
+     * simulator's fill path makes sound because every TLB fill sets
+     * the reference bit at the fill instant. Requires ref/mod
+     * writeback (not tlb_no_refmod_writeback).
+     */
+    ReuseElide,
+};
+
+/**
  * VM page-placement policy on NUMA shapes (ignored at numa_nodes == 1,
  * where every frame is node-local by construction).
  */
@@ -348,6 +396,28 @@ struct MachineConfig
     unsigned kernel_pools = 1;
 
     /**
+     * Shootdown-avoidance policy layered over Figure 1 (see the enum).
+     * Baseline leaves every code path, counter, and digest input
+     * bit-identical to the pre-policy simulator.
+     */
+    ShootdownPolicy shootdown_policy = ShootdownPolicy::Baseline;
+
+    /**
+     * Batched policy: an IPI to a target is elided only when the
+     * target's last shootdown IPI was posted within this window and
+     * the target provably has not finished its responder pass (the
+     * action flag is still up and the pass is live or pending).
+     */
+    Tick ipi_coalesce_window = 400 * kUsec;
+
+    /**
+     * RangeFlush policy: more pages than this in one invalidation and
+     * the responder flushes the whole target space instead of walking
+     * the range. Must be >= tlb_flush_threshold to be meaningful.
+     */
+    unsigned range_flush_crossover = 16;
+
+    /**
      * Lazy evaluation (Table 1): skip the shootdown when none of the
      * affected pages are mapped in the physical map.
      */
@@ -382,6 +452,17 @@ struct MachineConfig
      * answer); never set it outside tests.
      */
     bool chk_skip_l0_invalidate = false;
+
+    /**
+     * TEST ONLY -- plant a lazy-ASID policy bug: the context-load hook
+     * skips its stale-generation check, so a deferred flush marked
+     * while the space was switched out is never consumed when the
+     * space is next loaded -- the classic lazy-invalidation bug of
+     * forgetting the generation bump on context load. The reactivated
+     * CPU keeps serving pre-revocation translations. Exists for the
+     * checker's broken-asid golden test; never set it outside tests.
+     */
+    bool chk_skip_asid_gen_check = false;
 
     // ---- NUMA topology (src/numa) ------------------------------------
 
@@ -451,6 +532,15 @@ struct MachineConfig
     /** Validate invariants; calls fatal() on nonsense configurations. */
     void validate() const;
 };
+
+/** Stable CLI/report name of @p policy ("baseline", "lazy-asid", ...). */
+const char *shootdownPolicyName(ShootdownPolicy policy);
+
+/**
+ * Parse a machsim --shootdown-policy value. Returns false on an
+ * unknown name.
+ */
+bool parseShootdownPolicy(const std::string &name, ShootdownPolicy *out);
 
 } // namespace mach::hw
 

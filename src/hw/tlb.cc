@@ -457,8 +457,9 @@ Tlb::flushSpace(SpaceId space)
     live_count_ -= st.live;
     st.live = 0;
     // Entries filled under the old space generation are now dead; no
-    // scan needed.
+    // scan needed. Any lazily deferred flush is subsumed by this one.
     ++st.flush_gen;
+    st.deferred = false;
     l0ClearSpace(space);
     // A bulk flush turns a big slice of the index into tombstones at
     // once; every later miss would probe through them until the next
@@ -488,6 +489,32 @@ Tlb::flushAll()
         index_.assign(index_.size(), kEmptySlot);
         index_used_ = 0;
     }
+}
+
+void
+Tlb::deferFlush(SpaceId space)
+{
+    space_states_[spaceSlot(space)].deferred = true;
+}
+
+bool
+Tlb::consumeDeferredFlush(SpaceId space)
+{
+    const auto it = space_index_.find(space);
+    if (it == space_index_.end() ||
+        !space_states_[it->second].deferred)
+        return false;
+    // flushSpace clears the deferred flag itself.
+    flushSpace(space);
+    return true;
+}
+
+bool
+Tlb::hasDeferredFlush(SpaceId space) const
+{
+    const auto it = space_index_.find(space);
+    return it != space_index_.end() &&
+           space_states_[it->second].deferred;
 }
 
 bool

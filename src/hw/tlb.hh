@@ -134,6 +134,26 @@ class Tlb
     /** Invalidate the whole buffer. O(1). */
     void flushAll();
 
+    /**
+     * Tagged-generation support for the lazy-asid avoidance policy
+     * (ShootdownPolicy::LazyAsid): mark @p space's cached translations
+     * stale WITHOUT flushing them. The entries keep serving -- that is
+     * the deferral window the policy trades the IPI for -- until the
+     * space is next loaded on this CPU and the context-load hook calls
+     * consumeDeferredFlush(). Pure bookkeeping, no counters move.
+     */
+    void deferFlush(SpaceId space);
+
+    /**
+     * Apply (and clear) a pending deferred flush for @p space. Returns
+     * true when a flush was actually performed, so the caller can
+     * charge tlb_flush_cost for it.
+     */
+    bool consumeDeferredFlush(SpaceId space);
+
+    /** True when @p space has a deferred flush pending. */
+    bool hasDeferredFlush(SpaceId space) const;
+
     /** True when any valid entry belongs to @p space. O(1). */
     bool cachesSpace(SpaceId space) const;
 
@@ -201,6 +221,13 @@ class Tlb
         std::uint64_t flush_gen = 0; ///< Bumped by flushSpace.
         std::uint64_t seen_gen = 0;  ///< Buffer gen `live` is valid for.
         unsigned live = 0;           ///< Live entries, under seen_gen.
+        /**
+         * Lazy-asid deferral: the space's translations are stale and
+         * must be flushed before the space is next used on this CPU
+         * (deferFlush / consumeDeferredFlush). Cleared by any
+         * flushSpace, since a flush leaves nothing stale to defer.
+         */
+        bool deferred = false;
     };
 
     static constexpr std::uint32_t kEmptySlot = ~std::uint32_t{0};

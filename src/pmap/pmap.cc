@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "base/trace.hh"
 #include "kern/sched.hh"
+#include "pmap/policy.hh"
 #include "pmap/shootdown.hh"
 #include "xpr/xpr.hh"
 
@@ -65,6 +66,10 @@ Pmap::othersUsing(CpuId self) const
 void
 Pmap::activate(kern::Cpu &cpu)
 {
+    // Context-load hook: runs before the space becomes current, so a
+    // lazily deferred flush (LazyAsid policy) is applied while the
+    // space's residue is still unreachable.
+    sys_->shoot().policy().onContextLoad(cpu, *this);
     in_use_.set(cpu.id());
     cpu.cur_pmap = this;
 }
@@ -142,6 +147,13 @@ Pmap::updateMappings(kern::Thread &thread, Vpn start, Vpn end,
                            "actions for vpn [0x%x,0x%x)",
                            cpu.id(), start, end);
         }
+    }
+    if (need_consistency &&
+        sys_->shoot().policy().reuseElideCheck(cpu, *this, start, end)) {
+        // ReuseElide policy: no page of the range has been referenced
+        // since its last consistency-clean instant, so no TLB anywhere
+        // caches it and the change needs no consistency actions.
+        need_consistency = false;
     }
 
     const bool delayed =
@@ -412,9 +424,20 @@ PmapSystem::auditTlbConsistency() const
         // the queue before performing any translation.
         if (shoot_->stateFor(id).action_needed)
             continue;
+        // Residue of a space with a deferred flush pending on this
+        // processor is dead by construction (LazyAsid policy): the
+        // flush is applied before the space can become current here
+        // again. Residue of the *current* space is never excused --
+        // a set flag on the running space is exactly the stale state
+        // the planted broken-asid variant creates.
+        auto deferred_residue = [&](hw::SpaceId space) {
+            return cpu.tlb().hasDeferredFlush(space) &&
+                   (cpu.cur_pmap == nullptr ||
+                    cpu.cur_pmap->space() != space);
+        };
         const std::vector<hw::TlbEntry> live = cpu.tlb().entries();
         for (const hw::TlbEntry &entry : live) {
-            if (!entry.valid)
+            if (!entry.valid || deferred_residue(entry.space))
                 continue;
             const Pmap *pmap = pmapForSpace(entry.space);
             if (pmap == nullptr) {
@@ -446,6 +469,8 @@ PmapSystem::auditTlbConsistency() const
         // above already audited that translation, and with correct L0
         // maintenance every slot falls in this category.
         for (const hw::TlbEntry &entry : cpu.tlb().l0Translations()) {
+            if (deferred_residue(entry.space))
+                continue;
             bool mirrors_live = false;
             for (const hw::TlbEntry &backing : live) {
                 if (backing.valid && backing.space == entry.space &&

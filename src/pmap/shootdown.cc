@@ -8,6 +8,7 @@
 #include "kern/sched.hh"
 #include "obs/recorder.hh"
 #include "pmap/pmap.hh"
+#include "pmap/policy.hh"
 #include "xpr/xpr.hh"
 
 namespace mach::pmap
@@ -20,12 +21,15 @@ ShootdownController::ShootdownController(PmapSystem &sys)
     state_.reserve(machine_.ncpus());
     for (CpuId id = 0; id < machine_.ncpus(); ++id)
         state_.push_back(std::make_unique<CpuShootState>());
+    policy_ = makeShootdownPolicy(*this, machine_);
 
     machine_.setIrqHandler(hw::Irq::Shootdown,
                            [this](kern::Cpu &cpu) { respond(cpu); });
     machine_.sched().setIdleExitHook(
         [this](kern::Cpu &cpu) { idleExit(cpu); });
 }
+
+ShootdownController::~ShootdownController() = default;
 
 bool
 ShootdownController::invalidateAfterChange() const
@@ -54,6 +58,8 @@ void
 ShootdownController::invalidateLocal(kern::Cpu &cpu, hw::SpaceId space,
                                      Vpn start, Vpn end)
 {
+    if (policy_->invalidate(cpu, space, start, end))
+        return;
     const hw::MachineConfig &cfg = machine_.cfg();
     const unsigned npages = end - start;
     if (cfg.virtual_cache) {
@@ -82,6 +88,13 @@ ShootdownController::queueAction(kern::Cpu &self, CpuId target,
     const hw::MachineConfig &cfg = machine_.cfg();
     CpuShootState &st = *state_[target];
     st.action_lock.rawLock(self);
+    if (policy_->mergeQueued(st.queue, pmap, start, end)) {
+        // Coalesced into an already-queued range (Batched policy).
+        st.action_needed = true;
+        self.memAccess(2);
+        st.action_lock.rawUnlock(self);
+        return;
+    }
     if (st.queue.size() >= cfg.action_queue_size) {
         // Overflowing queues escalate to a full TLB flush; the queue is
         // sized so this only happens when the responder would flush the
@@ -183,6 +196,11 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
             static_cast<unsigned>(pool)) {
             continue;
         }
+        if (policy_->deferTarget(self, id, pmap, start, end)) {
+            // The policy proved this target can settle up later (lazy
+            // ASID): no queued action, no IPI, no synchronization.
+            continue;
+        }
         queueAction(self, id, pmap, start, end);
         kern::Cpu &target = machine_.cpu(id);
         if (target.idle) {
@@ -252,6 +270,8 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
                         forward_pending_[node].set(id);
                 }
                 for (CpuId id : local_targets) {
+                    if (policy_->elideIpi(self, id))
+                        continue;
                     Tick send = cfg.ipi_send_cost;
                     if (cfg.ipi_send_jitter > 0)
                         send +=
@@ -281,6 +301,8 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
                 // Baseline: iterate down the list one directed IPI at
                 // a time.
                 for (CpuId id : send_list) {
+                    if (policy_->elideIpi(self, id))
+                        continue;
                     Tick send = cfg.ipi_send_cost;
                     if (cfg.ipi_send_jitter > 0)
                         send +=
@@ -404,6 +426,8 @@ ShootdownController::drainForwards(kern::Cpu &cpu)
             intr.pending(id, hw::Irq::Shootdown)) {
             return;
         }
+        if (policy_->elideIpi(cpu, id))
+            return;
         Tick send = cfg.ipi_send_cost;
         if (cfg.ipi_send_jitter > 0)
             send += machine_.rng().below(cfg.ipi_send_jitter);
@@ -438,7 +462,12 @@ ShootdownController::respond(kern::Cpu &cpu)
                    "cpu%u responds (action_needed=%d)", cpu.id(),
                    st.action_needed ? 1 : 0);
 
-    // One pass of this loop services every shootdown in progress.
+    // One pass of this loop services every shootdown in progress. The
+    // servicing flag brackets the loop exactly: an initiator that sees
+    // it set knows its freshly-queued action precedes a future check
+    // of this condition (the Batched policy's IPI-elision invariant).
+    st.servicing = true;
+    st.service_entered = machine_.now();
     while (st.action_needed) {
         ++responder_passes;
 
@@ -466,6 +495,7 @@ ShootdownController::respond(kern::Cpu &cpu)
         drainActions(cpu);
         cpu.active = true;
     }
+    st.servicing = false;
 
     if (had_work && cfg.xpr_enabled &&
         cpu.id() < cfg.xpr_responder_cpus) {
@@ -504,6 +534,8 @@ ShootdownController::idleExit(kern::Cpu &cpu)
     }
 
     const hw::Spl saved = cpu.setSpl(hw::SplHigh);
+    st.servicing = true;
+    st.service_entered = machine_.now();
     while (st.action_needed) {
         if (responderMustStall()) {
             hw::Bus::User bus_user(cpu.bus());
@@ -513,6 +545,7 @@ ShootdownController::idleExit(kern::Cpu &cpu)
         }
         drainActions(cpu);
     }
+    st.servicing = false;
     cpu.setSpl(saved);
 }
 

@@ -61,6 +61,7 @@ namespace mach::pmap
 
 class Pmap;
 class PmapSystem;
+class ShootdownPolicy;
 
 /** One queued TLB consistency action. */
 struct ShootAction
@@ -82,6 +83,17 @@ struct CpuShootState
     bool overflow = false;
     /** A TLB consistency action is needed on this processor. */
     bool action_needed = false;
+    /**
+     * This processor is inside its respond/idle-drain service loop.
+     * Set before the loop's first action-needed check and cleared at
+     * the instant of its final (false) check, so an initiator that
+     * observes it set knows a future re-check will see any action it
+     * just queued -- the invariant the Batched policy's IPI elision
+     * rests on.
+     */
+    bool servicing = false;
+    /** When the in-progress service pass began (coalescing window). */
+    Tick service_entered = 0;
 };
 
 /** Machine-wide shootdown machinery. */
@@ -89,6 +101,7 @@ class ShootdownController
 {
   public:
     explicit ShootdownController(PmapSystem &sys);
+    ~ShootdownController();
 
     /**
      * Phases 1-2, run by the initiator while holding @p pmap's lock at
@@ -149,6 +162,10 @@ class ShootdownController
 
     CpuShootState &stateFor(CpuId id) { return *state_[id]; }
 
+    /** The avoidance policy selected by MachineConfig. */
+    ShootdownPolicy &policy() { return *policy_; }
+    const ShootdownPolicy &policy() const { return *policy_; }
+
     /** True when this configuration requires responders to stall. */
     bool responderMustStall() const;
 
@@ -197,6 +214,7 @@ class ShootdownController
     PmapSystem &sys_;
     kern::Machine &machine_;
     std::vector<std::unique_ptr<CpuShootState>> state_;
+    std::unique_ptr<ShootdownPolicy> policy_;
     /**
      * Per-node sets of send-list members awaiting a locally forwarded
      * IPI (their queues and action-needed flags are already set; only

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "hw/tlb.hh"
+#include "pmap/policy.hh"
 #include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
 #include "xpr/xpr.hh"
@@ -39,6 +40,14 @@ MachineStats::capture(vm::Kernel &kernel)
     stats.idle_drains = shoot.idle_drains;
     stats.queue_overflows = shoot.queue_overflows;
     stats.remote_invalidates = shoot.remote_invalidates;
+    const pmap::ShootdownPolicy &policy = shoot.policy();
+    stats.ipis_elided = policy.ipis_elided;
+    stats.flushes_deferred = policy.flushes_deferred;
+    stats.deferred_flushes_applied = policy.deferred_flushes_applied;
+    stats.actions_merged = policy.actions_merged;
+    stats.range_invalidates = policy.range_invalidates;
+    stats.full_space_flushes = policy.full_space_flushes;
+    stats.reuse_elisions = policy.reuse_elisions;
     stats.cross_node_ipis = shoot.cross_node_ipis;
     stats.forwarded_ipis = shoot.forwarded_ipis;
     stats.remote_faults = kernel.remote_faults;
@@ -81,6 +90,13 @@ MachineStats::since(const MachineStats &earlier) const
     diff.idle_drains -= earlier.idle_drains;
     diff.queue_overflows -= earlier.queue_overflows;
     diff.remote_invalidates -= earlier.remote_invalidates;
+    diff.ipis_elided -= earlier.ipis_elided;
+    diff.flushes_deferred -= earlier.flushes_deferred;
+    diff.deferred_flushes_applied -= earlier.deferred_flushes_applied;
+    diff.actions_merged -= earlier.actions_merged;
+    diff.range_invalidates -= earlier.range_invalidates;
+    diff.full_space_flushes -= earlier.full_space_flushes;
+    diff.reuse_elisions -= earlier.reuse_elisions;
     diff.cross_node_ipis -= earlier.cross_node_ipis;
     diff.forwarded_ipis -= earlier.forwarded_ipis;
     diff.remote_faults -= earlier.remote_faults;
@@ -161,6 +177,23 @@ MachineStats::report() const
                   static_cast<unsigned long long>(remote_invalidates),
                   static_cast<unsigned long long>(delayed_waits));
     out += buf;
+    if (ipis_elided + flushes_deferred + actions_merged +
+            range_invalidates + full_space_flushes + reuse_elisions >
+        0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "  policy: %llu IPIs elided, %llu flushes deferred "
+            "(%llu applied), %llu actions merged, %llu range vs "
+            "%llu full-space invalidates, %llu reuse elisions\n",
+            static_cast<unsigned long long>(ipis_elided),
+            static_cast<unsigned long long>(flushes_deferred),
+            static_cast<unsigned long long>(deferred_flushes_applied),
+            static_cast<unsigned long long>(actions_merged),
+            static_cast<unsigned long long>(range_invalidates),
+            static_cast<unsigned long long>(full_space_flushes),
+            static_cast<unsigned long long>(reuse_elisions));
+        out += buf;
+    }
     if (cross_node_ipis + forwarded_ipis + remote_faults +
             local_faults + page_migrations + total.remote_mem_accesses >
         0) {

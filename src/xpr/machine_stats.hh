@@ -58,6 +58,17 @@ struct MachineStats
     std::uint64_t queue_overflows = 0;
     std::uint64_t remote_invalidates = 0;
 
+    // Shootdown-avoidance policy counters (all zero under the Baseline
+    // policy; kept out of runDigest so pre-policy goldens are
+    // unaffected -- each policy pins its own golden instead).
+    std::uint64_t ipis_elided = 0;
+    std::uint64_t flushes_deferred = 0;
+    std::uint64_t deferred_flushes_applied = 0;
+    std::uint64_t actions_merged = 0;
+    std::uint64_t range_invalidates = 0;
+    std::uint64_t full_space_flushes = 0;
+    std::uint64_t reuse_elisions = 0;
+
     // NUMA interconnect (all zero on single-node machines; kept out of
     // runDigest so single-node goldens are unaffected).
     std::uint64_t cross_node_ipis = 0;

@@ -110,6 +110,7 @@ TEST(CommittedCorpus, ShipsTheExpectedCampaigns)
     EXPECT_GE(failing["broken-stall"], 1u);
     EXPECT_GE(failing["broken-replica"], 1u);
     EXPECT_GE(failing["broken-l0"], 1u);
+    EXPECT_GE(failing["broken-asid"], 1u);
 }
 
 /**

@@ -293,4 +293,63 @@ TEST(BrokenProtocol, ExplorerCatchesStaleReplicaSync)
                                        : healthy.violations.front());
 }
 
+TEST(BrokenProtocol, ExplorerCatchesSkippedAsidGeneration)
+{
+    const chk::Scenario broken = chk::brokenAsidScenario();
+    chk::Explorer explorer;
+    // Unperturbed, every revoke lands inside the writer's on-CPU
+    // window and takes the ordinary IPI path; only a delay pushing a
+    // revoke into the writer's sleep makes the LazyAsid policy defer
+    // the flush -- which the planted bug then never applies. The
+    // window is ~1.5 ms wide per round, well inside the systematic
+    // sweep's delta ladder.
+    chk::ExploreOptions opt;
+    opt.systematic_budget = 200;
+    opt.random_budget = 400;
+    const chk::ExploreResult res = explorer.explore(broken, opt);
+
+    ASSERT_FALSE(res.baseline_failed)
+        << "planted bug should be schedule-dependent, but the "
+           "baseline already failed: "
+        << res.baseline.note;
+    ASSERT_GT(res.failures, 0u)
+        << "explorer missed the planted skipped-ASID-generation bug";
+
+    // The failure is a revoked translation surviving in the tagged
+    // TLB across a context load: the oracle's TLB-vs-PTE audit flags
+    // the residue and/or the writer's store lands through it.
+    EXPECT_TRUE(res.first_failure.violation_count > 0 ||
+                !res.first_failure.predicate_ok)
+        << "unexpected failure mode (liveness?)";
+
+    // Minimization produced a no-larger, still-failing reproducer.
+    ASSERT_FALSE(res.minimized_schedule.empty());
+    EXPECT_GE(res.minimized.size(), 1u);
+    EXPECT_LE(res.minimized.size(), res.first_failing.size());
+    EXPECT_TRUE(res.minimized_result.failed());
+
+    // The string round-trips and replays the failure bit-exactly.
+    SchedulePerturber replay;
+    std::string error;
+    ASSERT_TRUE(SchedulePerturber::parse(res.minimized_schedule,
+                                         &replay, &error))
+        << error;
+    EXPECT_EQ(replay.format(), res.minimized_schedule);
+    const chk::TrialResult once = explorer.runTrial(broken, replay);
+    const chk::TrialResult twice = explorer.runTrial(broken, replay);
+    EXPECT_TRUE(once.failed());
+    EXPECT_EQ(once.digest, twice.digest);
+
+    // The healthy policy (generation check live, deferred flush
+    // applied at context load) shrugs off the same schedule.
+    const std::vector<chk::Scenario> library = chk::builtinScenarios();
+    const chk::Scenario *fixed =
+        chk::findScenario(library, "policy-lazy-asid");
+    ASSERT_NE(fixed, nullptr);
+    const chk::TrialResult healthy = explorer.runTrial(*fixed, replay);
+    EXPECT_FALSE(healthy.failed())
+        << (healthy.violations.empty() ? healthy.note
+                                       : healthy.violations.front());
+}
+
 } // namespace

@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <optional>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -37,14 +39,15 @@ class VmFuzz
 {
 };
 
-TEST_P(VmFuzz, MatchesReferenceModel)
+/**
+ * The fuzz body, shared by the machine-shape arm and the
+ * shootdown-policy arm: run the op sequence for @p seed on a kernel
+ * built from @p config and check every observation against the
+ * host-side model.
+ */
+void
+runFuzzAgainstModel(const hw::MachineConfig &config, std::uint64_t seed)
 {
-    const std::uint64_t seed = std::get<0>(GetParam());
-    setLogQuiet(true);
-    hw::MachineConfig config;
-    config.ncpus = 4;
-    config.seed = seed;
-    config.numa_nodes = std::get<1>(GetParam());
     vm::Kernel kernel(config);
     kernel.start();
 
@@ -197,12 +200,70 @@ TEST_P(VmFuzz, MatchesReferenceModel)
     EXPECT_TRUE(kernel.pmaps().auditTlbConsistency().empty());
 }
 
+TEST_P(VmFuzz, MatchesReferenceModel)
+{
+    const std::uint64_t seed = std::get<0>(GetParam());
+    setLogQuiet(true);
+    hw::MachineConfig config;
+    config.ncpus = 4;
+    config.seed = seed;
+    config.numa_nodes = std::get<1>(GetParam());
+    runFuzzAgainstModel(config, seed);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Seeds, VmFuzz,
     ::testing::Combine(::testing::Values(11, 22, 33, 44, 55, 66, 77,
                                          88, 101, 112, 123, 134, 145,
                                          156, 167, 178),
                        ::testing::Values(1u, 2u)));
+
+/**
+ * The same reference-model fuzz under every shootdown-avoidance
+ * policy: deferred flushes, coalesced IPIs, range invalidation and
+ * reuse elision must all remain invisible to the VM semantics --
+ * every read still matches the model, every protection decision
+ * still matches the model's rights, and the end-of-run TLB-vs-PTE
+ * audit still comes back clean.
+ */
+class VmFuzzPolicy
+    : public ::testing::TestWithParam<
+          std::tuple<hw::ShootdownPolicy, std::uint64_t>>
+{
+};
+
+TEST_P(VmFuzzPolicy, MatchesReferenceModel)
+{
+    const hw::ShootdownPolicy policy = std::get<0>(GetParam());
+    const std::uint64_t seed = std::get<1>(GetParam());
+    setLogQuiet(true);
+    hw::MachineConfig config;
+    config.ncpus = 4;
+    config.seed = seed;
+    config.shootdown_policy = policy;
+    // The TLB features each policy requires (MachineConfig::validate).
+    if (policy == hw::ShootdownPolicy::LazyAsid)
+        config.tlb_asid_tags = true;
+    if (policy == hw::ShootdownPolicy::ReuseElide)
+        config.tlb_software_reload = true;
+    runFuzzAgainstModel(config, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, VmFuzzPolicy,
+    ::testing::Combine(
+        ::testing::Values(hw::ShootdownPolicy::LazyAsid,
+                          hw::ShootdownPolicy::Batched,
+                          hw::ShootdownPolicy::RangeFlush,
+                          hw::ShootdownPolicy::ReuseElide),
+        ::testing::Values(11, 55, 123, 178)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<hw::ShootdownPolicy, std::uint64_t>> &info) {
+        std::string name =
+            hw::shootdownPolicyName(std::get<0>(info.param));
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
 
 // ---------------------------------------------------------------------
 // The same fuzz under memory pressure: the pageout daemon steals pages

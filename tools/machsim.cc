@@ -73,6 +73,9 @@ struct Options
     bool remote_invalidate = false;
     bool asid_tags = false;
     bool delayed_flush = false;
+    /** Shootdown-avoidance policy (baseline | lazy-asid | batched |
+     *  range-flush | reuse-elide). */
+    std::string shootdown_policy = "baseline";
     unsigned tlb_assoc = 0;
     /** Disable the host-side L0/walk caches (timing-neutral knob). */
     bool no_l0 = false;
@@ -161,6 +164,12 @@ usage()
         "  --software-reload / --no-writeback / --remote-invalidate\n"
         "                      Section 9 TLB options\n"
         "  --asid-tags         Section 10 tagged-TLB extension\n"
+        "  --shootdown-policy P  avoidance policy layered over the\n"
+        "                      Figure 1 algorithm: baseline |\n"
+        "                      lazy-asid (implies --asid-tags) |\n"
+        "                      batched | range-flush | reuse-elide\n"
+        "                      (implies --software-reload); see\n"
+        "                      docs/ALGORITHM.md\n"
         "  --tlb-assoc N       set-associative TLB with N ways (0 =\n"
         "                      fully associative, the Multimax default)\n"
         "  --no-l0             disable the host-side L0 translation\n"
@@ -310,6 +319,8 @@ parse(int argc, char **argv, Options *opt)
             opt->no_writeback = true;
         } else if (flag == "--asid-tags") {
             opt->asid_tags = true;
+        } else if (flag == "--shootdown-policy") {
+            opt->shootdown_policy = need_value(i);
         } else if (flag == "--tlb-assoc") {
             opt->tlb_assoc =
                 static_cast<unsigned>(atoi(need_value(i)));
@@ -421,6 +432,19 @@ toConfig(const Options &opt)
     }
     config.numa_migrate_threshold = opt.migrate_threshold;
     config.numa_pt_replicas = opt.pt_replicas;
+    if (!hw::parseShootdownPolicy(opt.shootdown_policy,
+                                  &config.shootdown_policy)) {
+        fatal("unknown --shootdown-policy '%s' (baseline | lazy-asid "
+              "| batched | range-flush | reuse-elide)",
+              opt.shootdown_policy.c_str());
+    }
+    // Each policy's hardware prerequisite is implied rather than
+    // demanded: lazy-asid needs a tagged TLB, reuse-elide needs
+    // lock-aware (software) reload.
+    if (config.shootdown_policy == hw::ShootdownPolicy::LazyAsid)
+        config.tlb_asid_tags = true;
+    if (config.shootdown_policy == hw::ShootdownPolicy::ReuseElide)
+        config.tlb_software_reload = true;
     return config;
 }
 
@@ -667,6 +691,8 @@ runCheckerScenario(const Options &opt,
                     chk::brokenReplicaScenario().summary.c_str());
         std::printf("%-22s %s\n", "broken-l0",
                     chk::brokenL0Scenario().summary.c_str());
+        std::printf("%-22s %s\n", "broken-asid",
+                    chk::brokenAsidScenario().summary.c_str());
         return 0;
     }
     chk::Scenario resolved;

@@ -2,8 +2,10 @@
 """Perf smoke gate: fail CI when the hot paths regress badly.
 
 Compares a freshly generated BENCH_host_perf.json against the baseline
-committed at the repo root. Only the two steadiest metrics are gated --
-raw event dispatch throughput and TLB lookup latency -- and only with a
+committed at the repo root. Only the steadiest metrics are gated -- raw
+event dispatch throughput, TLB lookup latency, and the end-to-end
+simulation rates of the shootdown storm and the Section 5.2 app suite
+(the two paths the shootdown-policy hooks sit on) -- and only with a
 generous tolerance (default 25%), because shared CI runners are noisy.
 The remaining benchmarks are informational; their history lives in the
 uploaded BENCH_host_perf artifacts.
@@ -21,6 +23,8 @@ import sys
 GATES = [
     ("event_queue", "events_per_sec", "higher"),
     ("tlb_churn", "tlb_lookup_ns", "lower"),
+    ("shootdown_storm", "sim_us_per_host_ms", "higher"),
+    ("app_suite", "sim_us_per_host_ms", "higher"),
 ]
 
 
