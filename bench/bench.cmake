@@ -30,3 +30,4 @@ mach_bench(ipi_crossover)
 mach_bench(policy_ablations)
 mach_bench(virtual_cache)
 mach_bench(numa_ablations)
+mach_bench(serving_slo)

@@ -38,6 +38,8 @@
 #include "apps/consistency_tester.hh"
 #include "base/rng.hh"
 #include "hw/machine_config.hh"
+#include "obs/metrics.hh"
+#include "obs/recorder.hh"
 #include "pmap/shootdown.hh"
 #include "xpr/machine_stats.hh"
 
@@ -362,6 +364,11 @@ struct Cell
 {
     xpr::MachineStats stats;
     double latency_usec = 0.0;
+    /** Initiator-latency tail from the shoot.initiator_us histogram
+     *  (stats-only recording; timing-neutral, so the mean above is
+     *  unchanged by measuring it). */
+    std::uint64_t latency_p99_usec = 0;
+    std::uint64_t latency_p999_usec = 0;
     double runtime_ms = 0.0;
 };
 
@@ -369,6 +376,7 @@ Cell
 runCell(unsigned shape, const hw::MachineConfig &config)
 {
     vm::Kernel kernel(config);
+    kernel.machine().recorder().enableStats();
     std::unique_ptr<apps::Workload> app;
     if (shape < 4) {
         app = makeApp(shape);
@@ -381,6 +389,11 @@ runCell(unsigned shape, const hw::MachineConfig &config)
 
     Cell cell;
     cell.stats = xpr::MachineStats::capture(kernel);
+    obs::Histogram &initiator =
+        kernel.machine().recorder().metrics().histogram(
+            "shoot.initiator_us");
+    cell.latency_p99_usec = initiator.percentileMille(990);
+    cell.latency_p999_usec = initiator.percentileMille(999);
     cell.runtime_ms =
         static_cast<double>(result.virtual_runtime) / kMsec;
     // Initiator latency: user operations where the workload has
@@ -455,7 +468,8 @@ writeJson(const Cell cells[][kNumShapes], const TesterCell *testers,
                 out,
                 "    \"%s__%s\": {\"ipis\": %llu, "
                 "\"ipis_saved_pct\": %.3f, \"shootdowns\": %llu, "
-                "\"latency_usec\": %.3f, \"runtime_ms\": %.3f, "
+                "\"latency_usec\": %.3f, \"latency_p99_us\": %llu, "
+                "\"latency_p999_us\": %llu, \"runtime_ms\": %.3f, "
                 "\"ipis_elided\": %llu, \"flushes_deferred\": %llu, "
                 "\"actions_merged\": %llu, \"range_invalidates\": "
                 "%llu, \"full_space_flushes\": %llu, "
@@ -465,7 +479,12 @@ writeJson(const Cell cells[][kNumShapes], const TesterCell *testers,
                 savedPct(cells[0][s].stats.ipis_sent, st.ipis_sent),
                 static_cast<unsigned long long>(
                     st.shootdowns_initiated),
-                cell.latency_usec, cell.runtime_ms,
+                cell.latency_usec,
+                static_cast<unsigned long long>(
+                    cell.latency_p99_usec),
+                static_cast<unsigned long long>(
+                    cell.latency_p999_usec),
+                cell.runtime_ms,
                 static_cast<unsigned long long>(st.ipis_elided),
                 static_cast<unsigned long long>(st.flushes_deferred),
                 static_cast<unsigned long long>(st.actions_merged),
@@ -535,6 +554,27 @@ runPolicyPart()
         std::printf("%-10s", shapeLabel(s));
         for (unsigned p = 0; p < kNumPolicies; ++p)
             std::printf(" %17.0f", cells[p][s].latency_usec);
+        std::printf("\n");
+    }
+
+    std::printf("\ninitiator latency tail, p99 / p999 (us, from the "
+                "shoot.initiator_us histogram)\n");
+    std::printf("%-10s", "app");
+    for (unsigned p = 0; p < kNumPolicies; ++p)
+        std::printf(" %17s", hw::shootdownPolicyName(kPolicies[p]));
+    std::printf("\n");
+    for (unsigned s = 0; s < kNumShapes; ++s) {
+        std::printf("%-10s", shapeLabel(s));
+        for (unsigned p = 0; p < kNumPolicies; ++p) {
+            char tail[32];
+            std::snprintf(
+                tail, sizeof(tail), "%llu/%llu",
+                static_cast<unsigned long long>(
+                    cells[p][s].latency_p99_usec),
+                static_cast<unsigned long long>(
+                    cells[p][s].latency_p999_usec));
+            std::printf(" %17s", tail);
+        }
         std::printf("\n");
     }
 

@@ -27,6 +27,11 @@ namespace mach::vm
 class Task;
 } // namespace mach::vm
 
+namespace mach::obs
+{
+class RequestSlot;
+} // namespace mach::obs
+
 namespace mach::kern
 {
 
@@ -72,6 +77,17 @@ class Thread
      * resume elsewhere). ~0u (obs::kNoTrack) until first used.
      */
     std::uint32_t obs_track_id = ~std::uint32_t{0};
+
+    /**
+     * Request-latency attribution slot for the request currently in
+     * flight on this thread (null when none -- the common case). Set
+     * by workloads that issue SLO-tracked requests (apps::Serving);
+     * read by the vm.fault / pmap-walk / shootdown hook sites, which
+     * bank elapsed intervals into it. The kernel never charges time
+     * or draws randomness through this pointer, so its presence
+     * cannot perturb the simulation.
+     */
+    obs::RequestSlot *obs_request = nullptr;
 
     // ---- Callable from within the thread body ------------------------
 

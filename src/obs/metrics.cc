@@ -48,14 +48,14 @@ Histogram::record(std::uint64_t value)
 }
 
 std::uint64_t
-Histogram::percentile(unsigned percent) const
+Histogram::percentileMille(unsigned mille) const
 {
     if (count_ == 0)
         return 0;
-    if (percent > 100)
-        percent = 100;
+    if (mille > 1000)
+        mille = 1000;
     // Rank of the target sample, 1-based, rounding up.
-    const std::uint64_t rank = (count_ * percent + 99) / 100;
+    const std::uint64_t rank = (count_ * mille + 999) / 1000;
     std::uint64_t seen = 0;
     for (unsigned i = 0; i < kBuckets; ++i) {
         seen += buckets_[i];
@@ -90,16 +90,18 @@ Metrics::report() const
     char line[256];
     for (const auto &entry : entries_) {
         const Histogram &h = *entry.second;
-        std::snprintf(line, sizeof(line),
-                      "%-28s n=%-8llu mean=%-8llu p50=%-8llu p90=%-8llu "
-                      "p99=%-8llu max=%llu\n",
-                      entry.first.c_str(),
-                      static_cast<unsigned long long>(h.count()),
-                      static_cast<unsigned long long>(h.mean()),
-                      static_cast<unsigned long long>(h.percentile(50)),
-                      static_cast<unsigned long long>(h.percentile(90)),
-                      static_cast<unsigned long long>(h.percentile(99)),
-                      static_cast<unsigned long long>(h.max()));
+        std::snprintf(
+            line, sizeof(line),
+            "%-28s n=%-8llu mean=%-8llu p50=%-8llu p90=%-8llu "
+            "p99=%-8llu p999=%-8llu max=%llu\n",
+            entry.first.c_str(),
+            static_cast<unsigned long long>(h.count()),
+            static_cast<unsigned long long>(h.mean()),
+            static_cast<unsigned long long>(h.percentile(50)),
+            static_cast<unsigned long long>(h.percentile(90)),
+            static_cast<unsigned long long>(h.percentile(99)),
+            static_cast<unsigned long long>(h.percentileMille(999)),
+            static_cast<unsigned long long>(h.max()));
         out += line;
     }
     return out;

@@ -40,7 +40,21 @@ class Histogram
      * fall, reported as the upper bound of the containing bucket (the
      * usual log-bucket approximation). Integer math only.
      */
-    std::uint64_t percentile(unsigned percent) const;
+    std::uint64_t percentile(unsigned percent) const
+    {
+        return percentileMille(percent * 10);
+    }
+
+    /**
+     * Per-mille percentile: @p mille is in thousandths (500 = p50,
+     * 999 = p99.9), the resolution the tail-latency SLOs need.
+     * Reported as the upper bound of the containing bucket, clamped
+     * to the observed min/max, so the approximation error is bounded
+     * by the bucket width: the true sample lies in (upper/2, upper],
+     * i.e. the reported value is at most 2x the exact one (and never
+     * below it). Integer math only.
+     */
+    std::uint64_t percentileMille(unsigned mille) const;
 
     const std::array<std::uint64_t, kBuckets> &buckets() const
     {
@@ -67,9 +81,9 @@ class Metrics
     bool empty() const { return entries_.empty(); }
 
     /**
-     * Human-readable table: one "name: n=... mean=... p50/p90/p99 max"
-     * line per histogram, in creation order. Values are microseconds
-     * by convention of the recording sites.
+     * Human-readable table: one "name: n=... mean=... p50/p90/p99/p999
+     * max" line per histogram, in creation order. Values are
+     * microseconds by convention of the recording sites.
      */
     std::string report() const;
 

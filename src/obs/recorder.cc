@@ -84,6 +84,7 @@ void
 Recorder::enable()
 {
     enabled_ = true;
+    stats_only_ = false;
     ring_capacity_ = 0;
 }
 
@@ -91,13 +92,23 @@ void
 Recorder::enableRing(std::size_t capacity)
 {
     enabled_ = true;
+    stats_only_ = false;
     ring_capacity_ = capacity == 0 ? 1 : capacity;
+}
+
+void
+Recorder::enableStats()
+{
+    enabled_ = true;
+    stats_only_ = true;
+    ring_capacity_ = 0;
 }
 
 void
 Recorder::disable()
 {
     enabled_ = false;
+    stats_only_ = false;
 }
 
 TrackId
@@ -121,6 +132,8 @@ Recorder::setCpuTracks(unsigned ncpus)
 void
 Recorder::push(Event event)
 {
+    if (stats_only_)
+        return;
     if (ring_capacity_ != 0 && events_.size() >= ring_capacity_) {
         events_.pop_front();
         ++dropped_;

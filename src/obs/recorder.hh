@@ -111,9 +111,19 @@ class Recorder
      */
     void enableRing(std::size_t capacity);
 
+    /**
+     * Stats-only mode: every instrumentation site runs (SpanGuards
+     * feed their histograms, samplers feed counters-as-histograms)
+     * but no timeline events are stored -- the memory-flat mode the
+     * serving-tier runs and `machsim --stats-json` use, where only
+     * the latency distributions matter, not the timeline.
+     */
+    void enableStats();
+
     void disable();
 
     bool ringMode() const { return ring_capacity_ != 0; }
+    bool statsOnly() const { return stats_only_; }
     std::uint64_t droppedEvents() const { return dropped_; }
 
     // ---- Tracks ------------------------------------------------------
@@ -186,6 +196,7 @@ class Recorder
 
     Clock clock_;
     bool enabled_ = false;
+    bool stats_only_ = false;
     std::size_t ring_capacity_ = 0; ///< 0 = unbounded.
     std::uint64_t dropped_ = 0;
     std::deque<Event> events_;

@@ -1,0 +1,32 @@
+#include "obs/request.hh"
+
+namespace mach::obs
+{
+
+const char *
+reqComponentName(ReqComponent component)
+{
+    switch (component) {
+      case ReqComponent::Compute: return "compute";
+      case ReqComponent::Fault: return "fault";
+      case ReqComponent::Walk: return "walk";
+      case ReqComponent::IpiPost: return "ipi_post";
+      case ReqComponent::ResponderWait: return "responder_wait";
+      case ReqComponent::Drain: return "drain";
+    }
+    return "?";
+}
+
+void
+recordRequest(Metrics &metrics, const RequestSlot &slot, Tick total)
+{
+    metrics.histogram("serve.request_us").record(total / kUsec);
+    for (unsigned c = 0; c < kReqComponents; ++c) {
+        const char *name =
+            reqComponentName(static_cast<ReqComponent>(c));
+        metrics.histogram(std::string("serve.") + name + "_us")
+            .record(slot.components()[c] / kUsec);
+    }
+}
+
+} // namespace mach::obs

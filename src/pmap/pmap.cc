@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "base/trace.hh"
 #include "kern/sched.hh"
+#include "obs/request.hh"
 #include "pmap/policy.hh"
 #include "pmap/shootdown.hh"
 #include "xpr/xpr.hh"
@@ -593,6 +594,13 @@ Cpu::access(VAddr va, Prot want)
         }
 
         if (!look.hit) {
+            // Attribute the whole refill window -- reload stall, walk,
+            // writeback, per-level latency -- to the requesting
+            // thread's Walk component (one branch when no request is
+            // in flight).
+            obs::ReqScope walk_scope(machine_->recorder(),
+                                     thread->obs_request,
+                                     obs::ReqComponent::Walk);
             if (cfg.tlb_software_reload) {
                 // Software reload (MIPS style): the miss handler checks
                 // whether the pmap is being modified and stalls only in

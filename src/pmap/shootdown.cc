@@ -7,6 +7,7 @@
 #include "kern/machine.hh"
 #include "kern/sched.hh"
 #include "obs/recorder.hh"
+#include "obs/request.hh"
 #include "pmap/pmap.hh"
 #include "pmap/policy.hh"
 #include "xpr/xpr.hh"
@@ -221,12 +222,21 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
                    self.id(), pmap.isKernel() ? "kernel" : "user",
                    start, end, sync_list.size(), send_list.size());
 
+    // Attribution: the initiating thread's request (if one is in
+    // flight) pays for posting the IPIs and then for the sync spin,
+    // as two distinct components.
+    obs::RequestSlot *const req =
+        self.cur_thread != nullptr ? self.cur_thread->obs_request
+                                   : nullptr;
+
     if (!sync_list.empty()) {
         {
             obs::SpanGuard ipi_span(rec, rec.cpuTrack(self.id()),
                                     "shoot.ipi", "shoot", nullptr,
                                     obs::Arg{"targets",
                                              send_list.size()});
+            obs::ReqScope ipi_scope(rec, req,
+                                    obs::ReqComponent::IpiPost);
             if (cfg.multicast_ipi) {
                 // One bit-vector load triggers every target at fixed
                 // cost.
@@ -327,6 +337,8 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
                                  "shoot.sync_us",
                                  obs::Arg{"waiting_on",
                                           sync_list.size()});
+        obs::ReqScope sync_scope(rec, req,
+                                 obs::ReqComponent::ResponderWait);
         hw::Bus::User bus_user(self.bus());
         for (CpuId id : sync_list) {
             kern::Cpu &target = machine_.cpu(id);
@@ -455,6 +467,15 @@ ShootdownController::respond(kern::Cpu &cpu)
     obs::SpanGuard respond_span(
         rec, rec.cpuTrack(cpu.id()), "shoot.respond", "shoot",
         "shoot.responder_us", obs::Arg{"had_work", had_work ? 1 : 0});
+    // The interrupt runs on whatever thread was dispatched here; if
+    // that thread had a request in flight, the stall + drain time is
+    // the request's Drain component (tail latency stolen by *other*
+    // initiators' consistency work).
+    obs::ReqScope drain_scope(rec,
+                              cpu.cur_thread != nullptr
+                                  ? cpu.cur_thread->obs_request
+                                  : nullptr,
+                              obs::ReqComponent::Drain);
     if (rec.enabled() && cfg.obs_record_cost > 0)
         cpu.advanceNoPoll(cfg.obs_record_cost);
 

@@ -13,6 +13,7 @@
 #include "base/logging.hh"
 #include "base/trace.hh"
 #include "obs/recorder.hh"
+#include "obs/request.hh"
 #include "vm/kernel.hh"
 
 namespace mach::vm
@@ -68,6 +69,8 @@ Kernel::handleFault(kern::Thread &thread, VAddr va, Prot want)
     obs::SpanGuard fault_span(
         rec, rec.enabled() ? threadTrack(rec, thread) : 0, "vm.fault",
         "vm", "vm.fault_us", obs::Arg{"va", va});
+    obs::ReqScope fault_scope(rec, thread.obs_request,
+                              obs::ReqComponent::Fault);
 
     thread.cpu().advance(machine_->cfg().fault_base_cost);
 

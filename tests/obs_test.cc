@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "apps/consistency_tester.hh"
 #include "base/logging.hh"
 #include "base/perturb.hh"
+#include "base/rng.hh"
 #include "chk/explorer.hh"
 #include "chk/scenario.hh"
 #include "obs/metrics.hh"
@@ -88,6 +90,64 @@ TEST(ObsHistogram, SingleSampleCollapsesToThatValue)
     // sample reports exactly.
     EXPECT_EQ(h.percentile(50), 777u);
     EXPECT_EQ(h.percentile(99), 777u);
+}
+
+TEST(ObsHistogram, PercentileMilleClampsAndHitsTheTail)
+{
+    obs::Histogram h;
+    for (std::uint64_t v = 1; v <= 2000; ++v)
+        h.record(v);
+    // Per-mille resolution separates p99 from p99.9 where the
+    // percent-resolution API cannot.
+    EXPECT_GE(h.percentileMille(999), 1980u);
+    EXPECT_GE(h.percentileMille(999), h.percentileMille(990));
+    // mille >= 1000 clamps to the max.
+    EXPECT_EQ(h.percentileMille(1000), h.max());
+    EXPECT_EQ(h.percentileMille(5000), h.max());
+    // percentile() is a wrapper over the same math.
+    EXPECT_EQ(h.percentile(50), h.percentileMille(500));
+    EXPECT_EQ(h.percentile(99), h.percentileMille(990));
+}
+
+/**
+ * Property test for the 64-bucket log layout: against the exact
+ * sorted-sample percentile (rank ceil(n*mille/1000)), the histogram's
+ * report is never below the exact value and never more than 2x it --
+ * the worst case being a sample at the bottom of a power-of-two
+ * bucket, reported as the bucket's upper bound (2^i - 1 vs 2^(i-1)).
+ */
+TEST(ObsHistogram, PercentileMilleWithinBucketWidthOfExact)
+{
+    Rng rng(0x9e5c11e5ull);
+    for (unsigned trial = 0; trial < 40; ++trial) {
+        obs::Histogram h;
+        std::vector<std::uint64_t> samples;
+        const unsigned n = 50 + static_cast<unsigned>(rng.below(2000));
+        for (unsigned i = 0; i < n; ++i) {
+            // A skewed mix: mostly small values, a heavy tail, and
+            // occasional zeros -- the shape of latency data.
+            std::uint64_t v;
+            if (rng.chance(0.05))
+                v = 0;
+            else if (rng.chance(0.1))
+                v = rng.range(100000, 10000000);
+            else
+                v = rng.range(1, 5000);
+            h.record(v);
+            samples.push_back(v);
+        }
+        std::sort(samples.begin(), samples.end());
+        for (unsigned mille : {100u, 500u, 900u, 990u, 999u}) {
+            const std::uint64_t rank =
+                (static_cast<std::uint64_t>(n) * mille + 999) / 1000;
+            const std::uint64_t exact = samples[rank - 1];
+            const std::uint64_t got = h.percentileMille(mille);
+            EXPECT_GE(got, exact)
+                << "trial " << trial << " p" << mille;
+            EXPECT_LE(got, exact * 2)
+                << "trial " << trial << " p" << mille;
+        }
+    }
 }
 
 TEST(ObsMetrics, HistogramsAreCreatedOnceInOrder)

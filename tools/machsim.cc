@@ -27,6 +27,7 @@
 #include "apps/consistency_tester.hh"
 #include "apps/mach_build.hh"
 #include "apps/parthenon.hh"
+#include "apps/serving.hh"
 #include "base/perturb.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
@@ -37,6 +38,7 @@
 #include "chk/scenario.hh"
 #include "obs/recorder.hh"
 #include "obs/sampler.hh"
+#include "obs/stats_json.hh"
 #include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
 #include "xpr/machine_stats.hh"
@@ -55,6 +57,17 @@ struct Options
     unsigned build_jobs = 48;  // mach-build
     unsigned transactions = 200; // camelot
     unsigned runs = 5;         // parthenon / agora
+    // serving (see apps/serving.hh for the knob semantics).
+    unsigned tenants = 24;
+    unsigned tenant_concurrency = 8;
+    unsigned tenant_threads = 2;
+    unsigned requests = 6;
+    unsigned ws_pages = 16;
+    unsigned binary_pages = 64;
+    unsigned mmap_pages = 4;
+    double sharing = 0.3;
+    double fault_mix = 0.35;
+    double zipf_s = 1.2;
     std::uint64_t seed = 0x4d616368u;
     /** Run farm width (--jobs). 0 = MACH_FARM_JOBS or serial. */
     unsigned farm_jobs = 0;
@@ -111,6 +124,8 @@ struct Options
     Tick obs_cost = 0;
     /** Flight-recorder dump file, written on failure. */
     std::string flight_recorder;
+    /** Machine-readable stats document, written after the run. */
+    std::string stats_json;
     /** Print the paper-style xpr distribution rows per --repeat seed. */
     bool xpr_rows = false;
     // NUMA topology (see docs/NUMA.md).
@@ -177,11 +192,27 @@ usage()
         "                      the host, identical simulated results)\n"
         "\nworkload:\n"
         "  --app NAME          tester | mach-build | parthenon | "
-        "agora | camelot\n"
+        "agora | camelot | serving\n"
         "  --children N        tester child threads (default 8)\n"
         "  --build-jobs N      mach-build compile jobs (default 48)\n"
         "  --transactions N    camelot transactions (default 200)\n"
         "  --runs N            parthenon/agora successive runs\n"
+        "  --tenants N         serving tenant spaces forked over the\n"
+        "                      run (default 24)\n"
+        "  --tenant-concurrency N  live serving tenants at once\n"
+        "                      (default 8)\n"
+        "  --tenant-threads N  threads per tenant: 1 server + N-1\n"
+        "                      siblings (default 2)\n"
+        "  --requests N        requests per tenant (default 6)\n"
+        "  --ws-pages N        serving hot working set (default 16)\n"
+        "  --binary-pages N    shared read-mostly binary (default 64)\n"
+        "  --mmap-pages N      pages mapped/unmapped per request\n"
+        "                      (default 4)\n"
+        "  --sharing F         fraction of accesses reading the\n"
+        "                      shared binary (default 0.3)\n"
+        "  --fault-mix F       fraction touching never-touched pages\n"
+        "                      (default 0.35)\n"
+        "  --zipf S            request-class Zipf skew (default 1.2)\n"
         "  --jobs N            run-farm width: concurrent simulations\n"
         "                      for --repeat batches (default\n"
         "                      MACH_FARM_JOBS or 1)\n"
@@ -237,6 +268,14 @@ usage()
         "                      and dump it to F when the run fails\n"
         "                      (oracle violation, failed verdict,\n"
         "                      failed chk trial)\n"
+        "  --stats-json FILE   write every histogram (with\n"
+        "                      percentiles), machine counter, and the\n"
+        "                      run digest as deterministic JSON\n"
+        "                      (schema machsim-stats-v1, see\n"
+        "                      docs/OBSERVABILITY.md); enables\n"
+        "                      stats-only recording when no trace is\n"
+        "                      requested; --repeat batches write\n"
+        "                      FILE.seed0x<seed>.json per seed\n"
         "  --xpr               print the paper-style initiator/\n"
         "                      responder distribution rows for every\n"
         "                      seed of a --repeat batch\n"
@@ -295,6 +334,30 @@ parse(int argc, char **argv, Options *opt)
         } else if (flag == "--transactions") {
             opt->transactions =
                 static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--tenants") {
+            opt->tenants = static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--tenant-concurrency") {
+            opt->tenant_concurrency =
+                static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--tenant-threads") {
+            opt->tenant_threads =
+                static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--requests") {
+            opt->requests = static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--ws-pages") {
+            opt->ws_pages = static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--binary-pages") {
+            opt->binary_pages =
+                static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--mmap-pages") {
+            opt->mmap_pages =
+                static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--sharing") {
+            opt->sharing = atof(need_value(i));
+        } else if (flag == "--fault-mix") {
+            opt->fault_mix = atof(need_value(i));
+        } else if (flag == "--zipf") {
+            opt->zipf_s = atof(need_value(i));
         } else if (flag == "--runs") {
             opt->runs = static_cast<unsigned>(atoi(need_value(i)));
         } else if (flag == "--lazy") {
@@ -354,6 +417,8 @@ parse(int argc, char **argv, Options *opt)
             opt->obs_cost = strtoull(need_value(i), nullptr, 0);
         } else if (flag == "--flight-recorder") {
             opt->flight_recorder = need_value(i);
+        } else if (flag == "--stats-json") {
+            opt->stats_json = need_value(i);
         } else if (flag == "--xpr") {
             opt->xpr_rows = true;
         } else if (flag == "--numa") {
@@ -488,6 +553,21 @@ makeApp(const Options &opt, apps::ConsistencyTester **tester)
     if (opt.app == "camelot")
         return std::make_unique<apps::Camelot>(
             apps::Camelot::Params{.transactions = opt.transactions});
+    if (opt.app == "serving") {
+        apps::Serving::Params params;
+        params.tenants = opt.tenants;
+        params.concurrency = opt.tenant_concurrency;
+        params.threads_per_tenant = opt.tenant_threads;
+        params.requests_per_tenant = opt.requests;
+        params.ws_pages = opt.ws_pages;
+        params.binary_pages = opt.binary_pages;
+        params.mmap_pages = opt.mmap_pages;
+        params.sharing = opt.sharing;
+        params.fault_mix = opt.fault_mix;
+        params.zipf_s = opt.zipf_s;
+        params.seed = opt.seed;
+        return std::make_unique<apps::Serving>(params);
+    }
     fatal("unknown --app '%s' (try --help)", opt.app.c_str());
     return nullptr;
 }
@@ -540,6 +620,10 @@ runBatch(const Options &opt, const SchedulePerturber &perturber)
                 if (statsInterval(one) != 0)
                     sampler = std::make_unique<obs::Sampler>(
                         kernel, statsInterval(one));
+            } else if (!one.stats_json.empty()) {
+                // Histograms only: --stats-json without a trace keeps
+                // memory flat across the batch.
+                rec.enableStats();
             }
 
             const apps::WorkloadResult result = app->execute(kernel);
@@ -555,6 +639,19 @@ runBatch(const Options &opt, const SchedulePerturber &perturber)
                     obs::suffixedPath(one.trace_json, tag);
                 if (!rec.writeJsonFile(path))
                     warn("could not write trace JSON to %s",
+                         path.c_str());
+            }
+            if (!one.stats_json.empty()) {
+                char tag[32];
+                std::snprintf(tag, sizeof(tag), "seed0x%llx",
+                              static_cast<unsigned long long>(
+                                  one.seed));
+                const std::string path =
+                    obs::suffixedPath(one.stats_json, tag);
+                const obs::StatsMeta meta{one.app, one.seed,
+                                          one.shootdown_policy};
+                if (!obs::writeStatsJson(path, kernel, meta))
+                    warn("could not write stats JSON to %s",
                          path.c_str());
             }
 
@@ -845,6 +942,10 @@ main(int argc, char **argv)
         if (statsInterval(opt) != 0)
             sampler =
                 std::make_unique<obs::Sampler>(kernel, statsInterval(opt));
+    } else if (!opt.stats_json.empty()) {
+        // Histograms without a timeline: every span site still feeds
+        // the metrics registry, but no events are stored.
+        rec.enableStats();
     }
 
     if (opt.numa_nodes > 1)
@@ -901,6 +1002,15 @@ main(int argc, char **argv)
     if (rec.enabled() && !rec.metrics().empty())
         std::printf("\nlatency histograms (usec):\n%s",
                     rec.metrics().report().c_str());
+    if (!opt.stats_json.empty()) {
+        const obs::StatsMeta meta{opt.app, opt.seed,
+                                  opt.shootdown_policy};
+        if (obs::writeStatsJson(opt.stats_json, kernel, meta))
+            std::printf("\nstats: %s\n", opt.stats_json.c_str());
+        else
+            warn("could not write stats JSON to %s",
+                 opt.stats_json.c_str());
+    }
 
     int rc = 0;
     if (tester != nullptr) {

@@ -10,6 +10,12 @@ generous tolerance (default 25%), because shared CI runners are noisy.
 The remaining benchmarks are informational; their history lives in the
 uploaded BENCH_host_perf artifacts.
 
+Also understands the serving-tier SLO baselines (BENCH_serving.json,
+"bench": "serving_slo"): every swept cell's request_p999_us is gated
+lower-is-better against the committed baseline. Those numbers come from
+the deterministic simulator, not the host, so they are immune to runner
+noise; a tail regression there is a behavior change, not jitter.
+
 Usage: perf_smoke.py <committed.json> <fresh.json> [--tolerance 1.25]
 Exit status 0 = within tolerance, 1 = regression, 2 = bad input.
 """
@@ -31,7 +37,36 @@ GATES = [
 def load(path):
     with open(path, encoding="utf-8") as handle:
         doc = json.load(handle)
-    return doc["results"]
+    return doc
+
+
+def check(bench, metric, direction, base, now, tolerance):
+    """Print one gate verdict; return True when within tolerance."""
+    if direction == "higher":
+        bound = base / tolerance
+        ok = now >= bound
+        verdict = f"floor {bound:.3f}"
+    else:
+        bound = base * tolerance
+        ok = now <= bound
+        verdict = f"ceiling {bound:.3f}"
+    status = "ok" if ok else "REGRESSED"
+    print(
+        f"perf_smoke: {bench}.{metric}: baseline {base:.3f}, "
+        f"measured {now:.3f} ({verdict}) ... {status}"
+    )
+    return ok
+
+
+def gates_for(doc):
+    """Gate list for a results document, keyed by its "bench" field."""
+    if doc.get("bench") == "serving_slo":
+        # Deterministic simulated tails: every cell in the sweep.
+        return [
+            (cell, "request_p999_us", "lower")
+            for cell in sorted(doc["results"])
+        ]
+    return GATES
 
 
 def main():
@@ -47,14 +82,16 @@ def main():
     args = parser.parse_args()
 
     try:
-        committed = load(args.committed)
-        fresh = load(args.fresh)
+        committed_doc = load(args.committed)
+        fresh_doc = load(args.fresh)
+        committed = committed_doc["results"]
+        fresh = fresh_doc["results"]
     except (OSError, ValueError, KeyError) as err:
         print(f"perf_smoke: cannot read inputs: {err}", file=sys.stderr)
         return 2
 
     failed = False
-    for bench, metric, direction in GATES:
+    for bench, metric, direction in gates_for(committed_doc):
         try:
             base = committed[bench][metric]
             now = fresh[bench][metric]
@@ -62,19 +99,7 @@ def main():
             print(f"perf_smoke: {bench}.{metric} missing", file=sys.stderr)
             failed = True
             continue
-        if direction == "higher":
-            bound = base / args.tolerance
-            ok = now >= bound
-            verdict = f"floor {bound:.3f}"
-        else:
-            bound = base * args.tolerance
-            ok = now <= bound
-            verdict = f"ceiling {bound:.3f}"
-        status = "ok" if ok else "REGRESSED"
-        print(
-            f"perf_smoke: {bench}.{metric}: baseline {base:.3f}, "
-            f"measured {now:.3f} ({verdict}) ... {status}"
-        )
+        ok = check(bench, metric, direction, base, now, args.tolerance)
         failed = failed or not ok
 
     return 1 if failed else 0
