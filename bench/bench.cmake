@@ -31,3 +31,4 @@ mach_bench(policy_ablations)
 mach_bench(virtual_cache)
 mach_bench(numa_ablations)
 mach_bench(serving_slo)
+mach_bench(device_ablations)

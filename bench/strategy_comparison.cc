@@ -28,6 +28,15 @@
  *  - write-revocations on hot pages that every policy must still
  *    shoot down, keeping the elision honest.
  *
+ * Part 2 closes with the serving tier's per-request attribution
+ * (obs/request.hh) replayed under every policy: of the mean request's
+ * microseconds, how many went to compute, faults, TLB-refill walks,
+ * posting shootdown IPIs, spinning on responders, and servicing other
+ * initiators' shootdowns? The avoidance policies should shrink the
+ * shootdown components while leaving compute untouched -- the
+ * per-request view of the same saving the IPI counters report in
+ * aggregate.
+ *
  * Simulated numbers are deterministic for a given scale, so the JSON
  * written to BENCH_strategy.json is a committable baseline; CI
  * archives it per run.
@@ -36,6 +45,7 @@
 #include "bench_common.hh"
 
 #include "apps/consistency_tester.hh"
+#include "apps/serving.hh"
 #include "base/rng.hh"
 #include "hw/machine_config.hh"
 #include "obs/metrics.hh"
@@ -431,6 +441,51 @@ runTester(hw::ShootdownPolicy policy)
     return cell;
 }
 
+// ---- Part 2b: per-request attribution by policy ----------------------
+
+/** One policy's serving-tier run, decomposed per request. */
+struct ServingCell
+{
+    std::uint64_t requests = 0;
+    double mean_usec = 0.0;
+    std::uint64_t p99_usec = 0;
+    /** Mean us/request banked to each obs::ReqComponent. */
+    double component_usec[obs::kReqComponents] = {};
+};
+
+ServingCell
+runServing(hw::ShootdownPolicy policy)
+{
+    hw::MachineConfig config =
+        policyConfig(policy, hw::MachineConfig{});
+    config.seed = 0x5e12e;
+    config.ncpus = 8;
+    vm::Kernel kernel(config);
+    kernel.machine().recorder().enableStats();
+    apps::Serving::Params params;
+    params.requests_per_tenant *= benchScale();
+    apps::Serving app(params);
+    app.execute(kernel);
+
+    ServingCell cell;
+    cell.requests = app.requests_completed;
+    if (cell.requests == 0)
+        return cell;
+    const double n = static_cast<double>(cell.requests);
+    cell.mean_usec =
+        static_cast<double>(app.request_ticks) / n / kUsec;
+    cell.p99_usec = kernel.machine()
+                        .recorder()
+                        .metrics()
+                        .histogram("serve.request_us")
+                        .percentileMille(990);
+    for (unsigned c = 0; c < obs::kReqComponents; ++c) {
+        cell.component_usec[c] =
+            static_cast<double>(app.component_ticks[c]) / n / kUsec;
+    }
+    return cell;
+}
+
 double
 savedPct(std::uint64_t baseline, std::uint64_t got)
 {
@@ -444,7 +499,7 @@ savedPct(std::uint64_t baseline, std::uint64_t got)
 
 void
 writeJson(const Cell cells[][kNumShapes], const TesterCell *testers,
-          unsigned scale)
+          const ServingCell *servings, unsigned scale)
 {
     std::FILE *out = std::fopen("BENCH_strategy.json", "w");
     if (out == nullptr)
@@ -493,9 +548,28 @@ writeJson(const Cell cells[][kNumShapes], const TesterCell *testers,
                 static_cast<unsigned long long>(
                     st.full_space_flushes),
                 static_cast<unsigned long long>(st.reuse_elisions),
-                p + 1 == kNumPolicies && s + 1 == kNumShapes ? ""
-                                                             : ",");
+                ",");
         }
+    }
+    for (unsigned p = 0; p < kNumPolicies; ++p) {
+        const ServingCell &serving = servings[p];
+        std::fprintf(
+            out,
+            "    \"%s__serving\": {\"requests\": %llu, "
+            "\"mean_usec\": %.3f, \"p99_us\": %llu",
+            hw::shootdownPolicyName(kPolicies[p]),
+            static_cast<unsigned long long>(serving.requests),
+            serving.mean_usec,
+            static_cast<unsigned long long>(serving.p99_usec));
+        for (unsigned c = 0; c < obs::kReqComponents; ++c) {
+            std::fprintf(
+                out, ", \"%s_usec\": %.3f",
+                obs::reqComponentName(
+                    static_cast<obs::ReqComponent>(c)),
+                serving.component_usec[c]);
+        }
+        std::fprintf(out, "}%s\n",
+                     p + 1 == kNumPolicies ? "" : ",");
     }
     std::fprintf(out, "  }\n}\n");
     std::fclose(out);
@@ -510,9 +584,12 @@ runPolicyPart()
     // farmed; results land in indexed slots so tables stay ordered.
     static Cell cells[kNumPolicies][kNumShapes];
     static TesterCell testers[kNumPolicies];
+    static ServingCell servings[kNumPolicies];
     std::vector<std::function<void()>> jobs;
     for (unsigned p = 0; p < kNumPolicies; ++p) {
         jobs.push_back([p] { testers[p] = runTester(kPolicies[p]); });
+        jobs.push_back(
+            [p] { servings[p] = runServing(kPolicies[p]); });
         for (unsigned s = 0; s < kNumShapes; ++s)
             jobs.push_back([p, s] {
                 cells[p][s] = runCell(
@@ -616,7 +693,29 @@ runPolicyPart()
             static_cast<unsigned long long>(sum.reuse_elisions));
     }
 
-    writeJson(cells, testers, scale);
+    std::printf("\nserving tier: per-request attribution (mean "
+                "us/request, obs/request.hh)\n");
+    std::printf("%-12s %8s %9s %8s", "policy", "requests", "mean",
+                "p99");
+    for (unsigned c = 0; c < obs::kReqComponents; ++c) {
+        std::printf(" %14s",
+                    obs::reqComponentName(
+                        static_cast<obs::ReqComponent>(c)));
+    }
+    std::printf("\n");
+    for (unsigned p = 0; p < kNumPolicies; ++p) {
+        const ServingCell &serving = servings[p];
+        std::printf("%-12s %8llu %9.0f %8llu",
+                    hw::shootdownPolicyName(kPolicies[p]),
+                    static_cast<unsigned long long>(serving.requests),
+                    serving.mean_usec,
+                    static_cast<unsigned long long>(serving.p99_usec));
+        for (unsigned c = 0; c < obs::kReqComponents; ++c)
+            std::printf(" %14.1f", serving.component_usec[c]);
+        std::printf("\n");
+    }
+
+    writeJson(cells, testers, servings, scale);
     std::printf("\nwrote BENCH_strategy.json\n");
 
     for (unsigned p = 0; p < kNumPolicies; ++p) {

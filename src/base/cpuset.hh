@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "base/logging.hh"
 #include "base/types.hh"
 
 namespace mach
@@ -34,15 +35,29 @@ class CpuSet
 
     constexpr CpuSet() = default;
 
-    constexpr void set(CpuId id) { word(id) |= bit(id); }
-    constexpr void clear(CpuId id) { word(id) &= ~bit(id); }
+    // Population ops are bounds-checked: responder ids now span CPUs
+    // plus devices (hw::MachineConfig::responderCount()), and an id at
+    // or past kMaxCpus must fail loudly instead of scribbling past the
+    // word array. test() of an out-of-range id is safely "not a
+    // member" -- probing with a foreign id space is legal, growing the
+    // set with one is not.
+    constexpr void set(CpuId id)
+    {
+        MACH_ASSERT(id < kMaxCpus);
+        word(id) |= bit(id);
+    }
+    constexpr void clear(CpuId id)
+    {
+        MACH_ASSERT(id < kMaxCpus);
+        word(id) &= ~bit(id);
+    }
     constexpr void assign(CpuId id, bool value)
     {
         value ? set(id) : clear(id);
     }
     constexpr bool test(CpuId id) const
     {
-        return (words_[id / 64] & bit(id)) != 0;
+        return id < kMaxCpus && (words_[id / 64] & bit(id)) != 0;
     }
 
     constexpr void clearAll() { words_ = {}; }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "chk/vmgen.hh"
+#include "dev/dma_device.hh"
 #include "kern/cpu.hh"
 #include "kern/thread.hh"
 #include "pmap/policy.hh"
@@ -599,6 +600,380 @@ lazyAsidLaunch()
     };
 }
 
+// ---- Device / IOTLB scenarios (docs/DEVICES.md) --------------------
+
+/**
+ * Re-arm DMA after a protection restore: increases are repaired
+ * lazily by faults, and a device cannot fault -- its walks keep
+ * seeing the read-only PTE until a CPU touch repairs the mapping.
+ * This is the CPU half of a real driver's buffer-recycle cycle.
+ */
+void
+repairForDma(vm::Kernel &kernel, kern::Thread &drv, vm::Task &task,
+             VAddr va, unsigned pages)
+{
+    kern::Thread *fixer = kernel.spawnThread(
+        &task, "chk-repair",
+        [va, pages](kern::Thread &self) {
+            for (unsigned i = 0; i < pages; ++i)
+                self.access(va + i * kPageSize, ProtWrite);
+        },
+        1);
+    drv.join(*fixer);
+}
+
+/** A small machine with @p devices DMA devices on a 4-entry IOTLB. */
+hw::MachineConfig
+devConfig(unsigned devices, unsigned ncpus = 4)
+{
+    hw::MachineConfig config = smallConfig(ncpus);
+    config.devices = devices;
+    config.iotlb_entries = 4;
+    return config;
+}
+
+/**
+ * The device storm shared by dev-dma-race and broken-iotlb: device 0
+ * streams DMA writes into a target page, sweeping 2x-capacity decoy
+ * reads after each write so the target's IOTLB entry is evicted (and
+ * walked afresh) every beat. The driver keys each revocation off the
+ * device's beat signal plus a margin, so the unperturbed revoke lands
+ * in the inter-beat gap, long after the sweep -- only a perturbation
+ * that parks the device inside the sweep leaves the stale writable
+ * entry resident across the revoke.
+ *
+ * Right after each revocation the driver toggles protection on an
+ * unrelated task's page @p probes times: each toggle is a pmap op,
+ * and each op is a stale-translation audit. The healthy drain leaves
+ * nothing for those audits to find; the planted drain bug
+ * (chk_skip_iotlb_invalidate) clears the action-needed excuse while
+ * skipping the invalidations, so a probe landing between the device's
+ * drain and the sweep's eviction sees the stale writable entry
+ * against the read-only PTE.
+ *
+ * The predicate is the device-side analog of watchRevoked: the
+ * writes_committed counter may not move between the revocation's
+ * completion and the restore -- the initiator's device sync already
+ * waited out any in-flight transfer, and every later write must fault
+ * on the read-only PTE.
+ */
+Scenario::Launch
+devStormLaunch(unsigned rounds, unsigned decoys, Tick margin,
+               Tick settle, unsigned probes)
+{
+    return [=](vm::Kernel &kernel, ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "chk-driver",
+            [kp, state, rounds, decoys, margin, settle,
+             probes](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                vm::Task *task = kernel.createTask("chk-dev");
+                vm::Task *aud = kernel.createTask("chk-dev-audit");
+                VAddr base = 0;
+                VAddr probe = 0;
+                if (!kernel.vmAllocate(drv, *task, &base,
+                                       (1 + decoys) * kPageSize,
+                                       true) ||
+                    !kernel.vmAllocate(drv, *aud, &probe, kPageSize,
+                                       true)) {
+                    failPredicate(state, "vmAllocate failed");
+                    finish(kernel, state);
+                    return;
+                }
+                // Fault every page in up front: the IOMMU walker does
+                // not fault -- a DMA against an unmapped page is a
+                // dropped operation, not a lazy fill.
+                kern::Thread *toucher = kernel.spawnThread(
+                    task, "chk-touch",
+                    [decoys, base](kern::Thread &self) {
+                        for (unsigned i = 0; i <= decoys; ++i)
+                            self.access(base + i * kPageSize,
+                                        ProtWrite);
+                    },
+                    1);
+                drv.join(*toucher);
+                kern::Thread *audtouch = kernel.spawnThread(
+                    aud, "chk-touch",
+                    [probe](kern::Thread &self) {
+                        self.access(probe, ProtWrite);
+                    },
+                    1);
+                drv.join(*audtouch);
+
+                dev::DmaDevice &device = kernel.device(0);
+                dev::DmaStream stream;
+                stream.pmap = &task->pmap();
+                stream.target = vaToVpn(base);
+                stream.decoy_base = vaToVpn(base + kPageSize);
+                stream.decoys = decoys;
+                // The idle gap must swallow the driver's whole revoke
+                // pipeline: from the beat bump it observes, through
+                // the margin, the VM-op entry costs, and the locked
+                // pmap section up to the drain request -- ~1.2 ms all
+                // told. A device walk that starts while that section
+                // holds the lock stalls in-flight until the drain
+                // request aborts it, so a gap shorter than the
+                // pipeline would park the device inside the locked
+                // window on every unperturbed beat.
+                stream.gap = 1500 * kUsec;
+                device.startStream(stream);
+                drv.sleep(2 * kMsec);
+                for (unsigned round = 0; round < rounds; ++round) {
+                    // Sync to the device: wait out the current beat,
+                    // then the margin (the sweep takes ~70 us
+                    // unperturbed), so the revoke lands in the gap.
+                    const std::uint64_t seen = device.beat();
+                    while (device.beat() == seen && !state->finished)
+                        drv.sleep(20 * kUsec);
+                    drv.sleep(margin);
+                    if (!kernel.vmProtect(drv, *task, base, kPageSize,
+                                          ProtRead)) {
+                        failPredicate(state,
+                                      "vmProtect(read-only) failed");
+                        break;
+                    }
+                    const std::uint64_t committed =
+                        device.writes_committed;
+                    for (unsigned p = 0; p < probes; ++p) {
+                        drv.sleep(25 * kUsec);
+                        kernel.vmProtect(drv, *aud, probe, kPageSize,
+                                         (p & 1) ? ProtReadWrite
+                                                 : ProtRead);
+                    }
+                    drv.sleep(settle);
+                    if (device.writes_committed != committed) {
+                        char msg[96];
+                        std::snprintf(
+                            msg, sizeof(msg),
+                            "dev round %u: DMA write committed "
+                            "through a revoked mapping (%llu -> %llu)",
+                            round,
+                            static_cast<unsigned long long>(committed),
+                            static_cast<unsigned long long>(
+                                device.writes_committed));
+                        failPredicate(state, msg);
+                    }
+                    if (!kernel.vmProtect(drv, *task, base, kPageSize,
+                                          ProtReadWrite))
+                        failPredicate(state,
+                                      "vmProtect(restore) failed");
+                    repairForDma(kernel, drv, *task, base, 1);
+                    drv.sleep(settle);
+                }
+                device.stop();
+                while (device.streaming())
+                    drv.sleep(100 * kUsec);
+                if (device.writes_committed == 0)
+                    failCoverage(state, "dev: no DMA write committed");
+                if (device.dma_faults == 0)
+                    failCoverage(state,
+                                 "dev: no revoked DMA was dropped");
+                if (kernel.pmaps().shoot().device_commands == 0)
+                    failCoverage(state, "dev: no device command sent");
+                finish(kernel, state);
+            },
+            0);
+    };
+}
+
+/**
+ * dev-masked: with a 2 ms wire occupancy every revocation lands
+ * mid-transfer -- the device is the "masked responder" of the device
+ * world, unable to apply its queued action until the wire is quiet.
+ * The initiator's drain request bounds the conflict at
+ * dev_drain_bound: the transfer aborts, nothing lands in memory, and
+ * the initiator's device sync observes a quiet wire before the pmap
+ * change is made.
+ */
+Scenario::Launch
+devAbortLaunch(unsigned rounds)
+{
+    return [=](vm::Kernel &kernel, ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "chk-driver",
+            [kp, state, rounds](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                vm::Task *task = kernel.createTask("chk-dev-mask");
+                VAddr base = 0;
+                if (!kernel.vmAllocate(drv, *task, &base, kPageSize,
+                                       true)) {
+                    failPredicate(state, "vmAllocate failed");
+                    finish(kernel, state);
+                    return;
+                }
+                kern::Thread *toucher = kernel.spawnThread(
+                    task, "chk-touch",
+                    [base](kern::Thread &self) {
+                        self.access(base, ProtWrite);
+                    },
+                    1);
+                drv.join(*toucher);
+
+                dev::DmaDevice &device = kernel.device(0);
+                dev::DmaStream stream;
+                stream.pmap = &task->pmap();
+                stream.target = vaToVpn(base);
+                stream.gap = 100 * kUsec;
+                device.startStream(stream);
+                for (unsigned round = 0; round < rounds; ++round) {
+                    // The beat bumps at a commit; the next transfer
+                    // spans [gap, gap + 2 ms] after it, so a revoke
+                    // half a millisecond in is reliably mid-transfer.
+                    const std::uint64_t seen = device.beat();
+                    while (device.beat() == seen && !state->finished)
+                        drv.sleep(20 * kUsec);
+                    drv.sleep(500 * kUsec);
+                    if (!kernel.vmProtect(drv, *task, base, kPageSize,
+                                          ProtRead)) {
+                        failPredicate(state,
+                                      "vmProtect(read-only) failed");
+                        break;
+                    }
+                    const std::uint64_t committed =
+                        device.writes_committed;
+                    drv.sleep(2 * kMsec);
+                    if (device.writes_committed != committed) {
+                        char msg[96];
+                        std::snprintf(
+                            msg, sizeof(msg),
+                            "mask round %u: aborted/revoked DMA "
+                            "write landed (%llu -> %llu)",
+                            round,
+                            static_cast<unsigned long long>(committed),
+                            static_cast<unsigned long long>(
+                                device.writes_committed));
+                        failPredicate(state, msg);
+                    }
+                    if (!kernel.vmProtect(drv, *task, base, kPageSize,
+                                          ProtReadWrite))
+                        failPredicate(state,
+                                      "vmProtect(restore) failed");
+                    repairForDma(kernel, drv, *task, base, 1);
+                    drv.sleep(kMsec);
+                }
+                device.stop();
+                while (device.streaming())
+                    drv.sleep(100 * kUsec);
+                if (device.dma_aborts == 0)
+                    failCoverage(state, "mask: no transfer aborted");
+                if (kernel.pmaps().shoot().device_sync_waits == 0)
+                    failCoverage(state, "mask: no device sync wait");
+                if (device.writes_committed == 0)
+                    failCoverage(state, "mask: no DMA write committed");
+                finish(kernel, state);
+            },
+            0);
+    };
+}
+
+/**
+ * dev-numa-remote: two devices on a two-node machine -- device 0 on
+ * node 0, device 1 on node 1 (MachineConfig::nodeOfDevice) -- each
+ * streaming DMA writes into its own page of one task. The driver's
+ * revocations must deliver consistency commands to both, the node-1
+ * command crossing the interconnect at remote cost, while the healthy
+ * drains keep both IOTLBs clean.
+ */
+Scenario::Launch
+devNumaLaunch(unsigned rounds)
+{
+    return [=](vm::Kernel &kernel, ScenarioState *state) {
+        vm::Kernel *kp = &kernel;
+        kernel.start();
+        kernel.spawnThread(
+            nullptr, "chk-driver",
+            [kp, state, rounds](kern::Thread &drv) {
+                vm::Kernel &kernel = *kp;
+                vm::Task *task = kernel.createTask("chk-dev-numa");
+                VAddr base = 0;
+                if (!kernel.vmAllocate(drv, *task, &base,
+                                       2 * kPageSize, true)) {
+                    failPredicate(state, "vmAllocate failed");
+                    finish(kernel, state);
+                    return;
+                }
+                kern::Thread *toucher = kernel.spawnThread(
+                    task, "chk-touch",
+                    [base](kern::Thread &self) {
+                        self.access(base, ProtWrite);
+                        self.access(base + kPageSize, ProtWrite);
+                    },
+                    1);
+                drv.join(*toucher);
+
+                // No decoys: the entries stay resident, so steady
+                // state runs on IOTLB hits and every revocation has a
+                // live entry to kill on each device.
+                for (unsigned d = 0; d < 2; ++d) {
+                    dev::DmaStream stream;
+                    stream.pmap = &task->pmap();
+                    stream.target = vaToVpn(base + d * kPageSize);
+                    stream.gap = 300 * kUsec;
+                    kernel.device(d).startStream(stream);
+                }
+                drv.sleep(2 * kMsec);
+                for (unsigned round = 0; round < rounds; ++round) {
+                    if (!kernel.vmProtect(drv, *task, base,
+                                          2 * kPageSize, ProtRead)) {
+                        failPredicate(state,
+                                      "vmProtect(read-only) failed");
+                        break;
+                    }
+                    const std::uint64_t committed =
+                        kernel.device(0).writes_committed +
+                        kernel.device(1).writes_committed;
+                    drv.sleep(1500 * kUsec);
+                    const std::uint64_t now_committed =
+                        kernel.device(0).writes_committed +
+                        kernel.device(1).writes_committed;
+                    if (now_committed != committed) {
+                        char msg[96];
+                        std::snprintf(
+                            msg, sizeof(msg),
+                            "numa-dev round %u: DMA write committed "
+                            "through a revoked mapping (%llu -> %llu)",
+                            round,
+                            static_cast<unsigned long long>(committed),
+                            static_cast<unsigned long long>(
+                                now_committed));
+                        failPredicate(state, msg);
+                    }
+                    if (!kernel.vmProtect(drv, *task, base,
+                                          2 * kPageSize,
+                                          ProtReadWrite))
+                        failPredicate(state,
+                                      "vmProtect(restore) failed");
+                    repairForDma(kernel, drv, *task, base, 2);
+                    drv.sleep(1500 * kUsec);
+                }
+                for (unsigned d = 0; d < 2; ++d)
+                    kernel.device(d).stop();
+                while (kernel.device(0).streaming() ||
+                       kernel.device(1).streaming())
+                    drv.sleep(100 * kUsec);
+                if (kernel.pmaps().shoot().cross_node_device_commands ==
+                    0)
+                    failCoverage(state,
+                                 "numa-dev: no cross-node command");
+                if (kernel.device(0).tlb().hits +
+                        kernel.device(1).tlb().hits ==
+                    0)
+                    failCoverage(state, "numa-dev: no IOTLB hit");
+                if (kernel.device(0).writes_committed +
+                        kernel.device(1).writes_committed ==
+                    0)
+                    failCoverage(state,
+                                 "numa-dev: no DMA write committed");
+                finish(kernel, state);
+            },
+            0);
+    };
+}
+
 } // namespace
 
 std::vector<Scenario>
@@ -795,6 +1170,41 @@ builtinScenarios()
         out.push_back(s);
     }
 
+    // ---- Device / IOTLB scenarios (docs/DEVICES.md) ----------------
+    {
+        // Healthy twin of broken-iotlb: same machine, same launch,
+        // but the drain applies its invalidations, so neither the
+        // commit predicate nor the audit probes ever fire.
+        Scenario s;
+        s.name = "dev-dma-race";
+        s.summary = "DMA stream racing revocations through an IOTLB";
+        s.config = devConfig(1);
+        s.bound = 600 * kMsec;
+        s.launch = devStormLaunch(3, 8, 250 * kUsec, 1500 * kUsec, 8);
+        out.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "dev-masked";
+        s.summary = "revocations against a device mid-transfer";
+        s.config = devConfig(1);
+        s.config.dev_transfer_cost = 2 * kMsec;
+        s.bound = 600 * kMsec;
+        s.launch = devAbortLaunch(3);
+        out.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "dev-numa-remote";
+        s.summary = "device on the remote node answering commands";
+        s.config = numaConfig();
+        s.config.devices = 2;
+        s.config.iotlb_entries = 4;
+        s.bound = 600 * kMsec;
+        s.launch = devNumaLaunch(3);
+        out.push_back(s);
+    }
+
     {
         // Healthy twin of broken-asid: same machine, same schedule
         // sensitivity, but the context-load generation check is live,
@@ -824,6 +1234,18 @@ builtinScenarios()
         g.seed = 2;
         g.numa_nodes = 2;
         g.ncpus = 4;
+        out.push_back(vmgenScenario(g));
+    }
+    // The device-enabled NUMA param point: the same generated op
+    // sequence with a DMA device attached to the fuzz task, so every
+    // revocation also runs the device command / drain path and each
+    // DMA op is checked against the model ("vmgen-3x2d").
+    {
+        VmGenOptions g;
+        g.seed = 3;
+        g.numa_nodes = 2;
+        g.ncpus = 4;
+        g.devices = true;
         out.push_back(vmgenScenario(g));
     }
 
@@ -981,6 +1403,28 @@ brokenAsidScenario()
     return s;
 }
 
+Scenario
+brokenIotlbScenario()
+{
+    Scenario s;
+    s.name = "broken-iotlb";
+    s.summary = "planted bug: device drain skips the invalidations";
+    // Same machine and launch as dev-dma-race, but the device's drain
+    // clears the action-needed flag (the audit excuse) and charges
+    // full cost while skipping the IOTLB invalidations. Unperturbed,
+    // every drain runs when the decoy sweep has already evicted the
+    // target's entry, so nothing stale survives and the baseline
+    // passes; a schedule that parks the device inside the sweep
+    // leaves the stale writable entry resident and flag-less when the
+    // driver's audit probes land, which the oracle's IOTLB-vs-page-
+    // table audit flags.
+    s.config = devConfig(1);
+    s.config.chk_skip_iotlb_invalidate = true;
+    s.bound = 600 * kMsec;
+    s.launch = devStormLaunch(3, 8, 250 * kUsec, 1500 * kUsec, 8);
+    return s;
+}
+
 const Scenario *
 findScenario(const std::vector<Scenario> &library,
              const std::string &name)
@@ -1009,6 +1453,10 @@ resolveScenario(const std::string &name, Scenario *out)
     }
     if (name == "broken-asid") {
         *out = brokenAsidScenario();
+        return true;
+    }
+    if (name == "broken-iotlb") {
+        *out = brokenIotlbScenario();
         return true;
     }
     VmGenOptions g;

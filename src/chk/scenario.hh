@@ -128,16 +128,34 @@ Scenario brokenL0Scenario();
  */
 Scenario brokenAsidScenario();
 
+/**
+ * The fifth planted bug, aimed at the device/IOTLB responder role
+ * (docs/DEVICES.md): MachineConfig::chk_skip_iotlb_invalidate makes
+ * the device's action-queue drain clear the action-needed flag (the
+ * stale-entry audit excuse) and charge full cost while skipping the
+ * IOTLB invalidations themselves. The dev-dma-race workload streams a
+ * DMA write plus a 2x-capacity decoy sweep per beat, so unperturbed
+ * the sweep has always evicted the target's entry before the drain
+ * runs and the baseline survives; a schedule that parks the device
+ * inside the sweep across the driver's revocation leaves the stale
+ * writable entry resident after the flag is cleared, and the driver's
+ * post-revoke audit probes (pmap ops on an unrelated task) make the
+ * oracle's IOTLB-vs-page-table audit land inside that window. The
+ * healthy twin is the library's "dev-dma-race" scenario.
+ */
+Scenario brokenIotlbScenario();
+
 /** Scenario by name from @p library, or null. */
 const Scenario *findScenario(const std::vector<Scenario> &library,
                              const std::string &name);
 
 /**
  * Resolve @p name to a runnable scenario: the built-in library (which
- * includes the generated vmgen entries), any vmgen-<seed>[x<nodes>]
- * name (chk/vmgen.hh), or one of the planted bugs (broken-stall,
- * broken-replica, broken-l0, broken-asid). This is the one
- * name->scenario map the
+ * includes the generated vmgen entries), any
+ * vmgen-<seed>[x<nodes>][d] name (chk/vmgen.hh; the "d" suffix mixes
+ * in DMA-device ops), or one of the planted bugs (broken-stall,
+ * broken-replica, broken-l0, broken-asid, broken-iotlb). This is the
+ * one name->scenario map the
  * CLI, the corpus replay test, and the CI lanes share. Returns false
  * when nothing matches.
  */

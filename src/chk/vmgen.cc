@@ -4,8 +4,10 @@
 #include <vector>
 
 #include "base/rng.hh"
+#include "dev/dma_device.hh"
 #include "kern/cpu.hh"
 #include "kern/thread.hh"
+#include "pmap/pmap.hh"
 #include "pmap/shootdown.hh"
 #include "vm/kernel.hh"
 #include "vm/task.hh"
@@ -149,6 +151,55 @@ runOps(vm::Kernel &kernel, kern::Thread &self, vm::Task &task,
                 !check(va == page, "fixed re-allocate moved"))
                 return;
             model.at(page) = ModelPage{};
+        } else if (o.devices && kind < 96) {
+            // DMA op against a random page through the device's
+            // IOTLB. The model's rights decide legality, with the
+            // lazy-repair wrinkle (see the file comment in
+            // chk/vmgen.hh): a CPU touch precedes every legal DMA op
+            // so the lazily-repaired PTE matches the model rights by
+            // the time the IOMMU walks it.
+            const VAddr page = randomPage();
+            ModelPage &m = model.at(page);
+            dev::DmaDevice &device = kernel.device(0);
+            pmap::Pmap &pmap = task.pmap();
+            if (protAllows(m.prot, ProtWrite)) {
+                if (!check(self.store32(page, m.value),
+                           "DMA repair store failed"))
+                    return;
+                const auto value =
+                    static_cast<std::uint32_t>(rng.next());
+                if (!check(device.dmaWrite(pmap, vaToVpn(page), 0,
+                                           value),
+                           "DMA write refused on a writable page"))
+                    return;
+                m.value = value;
+                std::uint32_t back = 0;
+                if (!check(self.load32(page, &back),
+                           "DMA write read-back failed") ||
+                    !check(back == value,
+                           "CPU read missed a committed DMA write"))
+                    return;
+            } else if (protAllows(m.prot, ProtRead)) {
+                std::uint32_t dummy = 0;
+                if (!check(self.load32(page, &dummy),
+                           "DMA repair load failed"))
+                    return;
+                if (!check(device.dmaRead(pmap, vaToVpn(page)),
+                           "DMA read refused on a readable page"))
+                    return;
+                // Write rights were revoked; the revocation must have
+                // reached the IOTLB (or its walk must see the PTE),
+                // so the DMA write is dropped as a fault.
+                if (!check(!device.dmaWrite(pmap, vaToVpn(page), 0, 1),
+                           "DMA write landed on a read-only page"))
+                    return;
+            } else {
+                if (!check(!device.dmaRead(pmap, vaToVpn(page)),
+                           "DMA read landed on a ProtNone page") ||
+                    !check(!device.dmaWrite(pmap, vaToVpn(page), 0, 1),
+                           "DMA write landed on a ProtNone page"))
+                    return;
+            }
         } else if (o.fork_churn && kind < 95) {
             // Fork churn: share one readable page into a child task,
             // read it back from the child, tear the child down.
@@ -209,12 +260,19 @@ vmgenScenario(const VmGenOptions &opt)
     s.name = "vmgen-" + std::to_string(opt.seed) +
              (opt.numa_nodes > 1
                   ? "x" + std::to_string(opt.numa_nodes)
-                  : "");
-    s.summary = "generated VM-op sequence vs the reference model";
+                  : "") +
+             (opt.devices ? "d" : "");
+    s.summary = opt.devices
+                    ? "generated VM+DMA op sequence vs the model"
+                    : "generated VM-op sequence vs the reference model";
     s.config.ncpus = opt.ncpus;
     s.config.seed = 0x5eed0000ull + opt.seed;
     if (opt.numa_nodes > 1)
         s.config.numa_nodes = opt.numa_nodes;
+    if (opt.devices) {
+        s.config.devices = 1;
+        s.config.iotlb_entries = 4;
+    }
     s.bound = opt.bound;
     const VmGenOptions o = opt;
     s.launch = [o](vm::Kernel &kernel, ScenarioState *state) {
@@ -257,6 +315,11 @@ vmgenScenario(const VmGenOptions &opt)
                         },
                         pin));
                 }
+                // The device joins the task's responder set for the
+                // whole op sequence, so every protection reduction
+                // and deallocation also queues at its IOTLB.
+                if (o.devices)
+                    kernel.device(0).attachTo(task->pmap());
                 kern::Thread *body = kernel.spawnThread(
                     task, "vmgen-body",
                     [kp, state, o, task](kern::Thread &self) {
@@ -267,6 +330,27 @@ vmgenScenario(const VmGenOptions &opt)
                 stop = true;
                 for (kern::Thread *t : touchers)
                     drv.join(*t);
+                if (o.devices) {
+                    // Detach from a plain fiber: the final drain
+                    // consumes simulated time.
+                    bool detached = false;
+                    kernel.machine().ctx().spawn(
+                        "vmgen-detach", [kp, task, &detached] {
+                            kp->device(0).detachFrom(task->pmap());
+                            detached = true;
+                        });
+                    while (!detached)
+                        drv.sleep(20 * kUsec);
+                    const dev::DmaDevice &device = kernel.device(0);
+                    if ((device.dma_reads + device.dma_writes == 0 ||
+                         kernel.pmaps().shoot().device_commands == 0) &&
+                        state->coverage_ok) {
+                        state->coverage_ok = false;
+                        if (state->note.empty())
+                            state->note =
+                                "vmgen: device path not exercised";
+                    }
+                }
                 if (kernel.machine().cfg().consistency_strategy ==
                         hw::ConsistencyStrategy::Shootdown &&
                     kernel.pmaps().shoot().initiated == 0 &&
@@ -289,7 +373,12 @@ parseVmgenName(const std::string &name, VmGenOptions *out)
     const std::string prefix = "vmgen-";
     if (name.compare(0, prefix.size(), prefix) != 0)
         return false;
-    const std::string rest = name.substr(prefix.size());
+    std::string rest = name.substr(prefix.size());
+    bool devices = false;
+    if (!rest.empty() && rest.back() == 'd') {
+        devices = true;
+        rest.pop_back();
+    }
     if (rest.empty())
         return false;
     std::size_t i = 0;
@@ -318,6 +407,7 @@ parseVmgenName(const std::string &name, VmGenOptions *out)
         o.numa_nodes = static_cast<unsigned>(nodes);
         o.ncpus = 2 * o.numa_nodes;
     }
+    o.devices = devices;
     *out = o;
     return true;
 }

@@ -16,8 +16,21 @@
  * serial op sequence and the touchers never write, so no property
  * depends on the schedule -- exactly what the explorer needs to
  * perturb freely. Generated scenarios are auto-enrolled in
- * builtinScenarios() and resolvable by name ("vmgen-<seed>" /
- * "vmgen-<seed>x<nodes>") like any hand-written scenario.
+ * builtinScenarios() and resolvable by name ("vmgen-<seed>",
+ * "vmgen-<seed>x<nodes>", with a trailing "d" for the device-enabled
+ * variant) like any hand-written scenario.
+ *
+ * The device-enabled variant (VmGenOptions::devices) adds DMA ops to
+ * the mix: the machine gets one DMA device attached to the fuzz
+ * task's pmap, and the op sequence interleaves DMA reads and writes
+ * (dev/dma_device.hh) with the CPU-side ops. The model predicts them
+ * with one wrinkle -- protection increases are repaired lazily by CPU
+ * faults and devices cannot fault, so each legal DMA op is preceded
+ * by a CPU touch of the page (the driver-side repair every real DMA
+ * stack performs; docs/DEVICES.md). Illegal DMA ops (model rights
+ * forbid the access) must be dropped as translation faults: the
+ * revocation path from vmProtect/vmDeallocate through the device's
+ * action queue to the IOTLB is what this fuzzes.
  */
 
 #ifndef MACH_CHK_VMGEN_HH
@@ -43,6 +56,8 @@ struct VmGenOptions
     unsigned numa_nodes = 1;
     /** Mix fork/inherit/destroy churn into the sequence. */
     bool fork_churn = false;
+    /** Attach one DMA device and mix DMA ops into the sequence. */
+    bool devices = false;
     /** Liveness bound of the unperturbed run. */
     Tick bound = 800 * kMsec;
 };
@@ -52,10 +67,10 @@ Scenario vmgenScenario(const VmGenOptions &opt);
 
 /**
  * Parse a vmgen scenario name back into its options; returns false
- * when @p name is not of the vmgen-<seed>[x<nodes>] form. The named
- * scenarios always use the default op count and CPU shape, so a name
- * fully determines the scenario -- which is what lets corpus entries
- * and CLI flags refer to generated scenarios by name alone.
+ * when @p name is not of the vmgen-<seed>[x<nodes>][d] form. The
+ * named scenarios always use the default op count and CPU shape, so a
+ * name fully determines the scenario -- which is what lets corpus
+ * entries and CLI flags refer to generated scenarios by name alone.
  */
 bool parseVmgenName(const std::string &name, VmGenOptions *out);
 

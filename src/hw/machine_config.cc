@@ -143,6 +143,16 @@ MachineConfig::validate() const
     if (chk_defer_replica_sync && !numa_pt_replicas)
         fatal("MachineConfig: chk_defer_replica_sync plants a bug in "
               "the replica sync path; set numa_pt_replicas");
+    if (ncpus + devices > 1024) {
+        fatal("MachineConfig: ncpus (%u) + devices (%u) exceed the "
+              "1024-wide responder id space",
+              ncpus, devices);
+    }
+    if (devices > 0 && iotlb_entries == 0)
+        fatal("MachineConfig: an IOTLB must have at least one entry");
+    if (chk_skip_iotlb_invalidate && devices == 0)
+        fatal("MachineConfig: chk_skip_iotlb_invalidate plants a bug "
+              "in the device drain path; set devices > 0");
     if (numa_nodes > 1 && kernel_pools > 1 &&
         kernel_pools % numa_nodes != 0 &&
         numa_nodes % kernel_pools != 0) {

@@ -520,11 +520,77 @@ struct MachineConfig
      */
     bool chk_defer_replica_sync = false;
 
+    // ---- DMA devices and IOMMU (src/dev) -----------------------------
+
+    /**
+     * Number of DMA-capable devices (docs/DEVICES.md). 0 (default)
+     * leaves the device subsystem entirely unbuilt: no responder ids,
+     * no events, no RNG draws, so every existing golden digest is
+     * bit-identical. Devices occupy responder ids [ncpus,
+     * ncpus + devices) in the shared CpuSet id space and are placed
+     * round-robin across NUMA nodes (device i on node i % numa_nodes).
+     */
+    unsigned devices = 0;
+
+    /**
+     * Entries per device IOTLB (the per-device translation cache in
+     * front of the IOMMU page-table walker). Shares the hw::Tlb model
+     * -- and therefore its generation-flush and audit machinery --
+     * with the CPU TLBs, just sized separately.
+     */
+    unsigned iotlb_entries = 8;
+
+    /** IOMMU walk cost per page-table level (the device's "reload"). */
+    Tick iommu_walk_cost_per_level = 3 * kUsec;
+
+    /** IOTLB probe cost preceding each DMA transfer. */
+    Tick iotlb_lookup_cost = 300;
+
+    /** Duration of one DMA transfer (translate -> data movement). */
+    Tick dev_transfer_cost = 120 * kUsec;
+
+    /**
+     * Initiator-side cost of posting one invalidation command to a
+     * device (the IOMMU command-queue write). Scaled by NUMA distance
+     * when the device hangs off a remote node, like an IPI.
+     */
+    Tick dev_cmd_cost = 30 * kUsec;
+
+    /**
+     * Bound on how long a revoke can wait for a device's in-flight
+     * DMA: a device that cannot finish its transfer within this many
+     * ticks of the drain request aborts it instead (the ATS-style
+     * invalidate-completion deadline). This is what keeps shootdown
+     * latency bounded when devices join the responder set.
+     */
+    Tick dev_drain_bound = 60 * kUsec;
+
+    /**
+     * TEST ONLY -- plant an IOTLB bug: a device's drain acknowledges
+     * the queued consistency actions without actually invalidating its
+     * IOTLB entries, so a revoked translation keeps serving DMA. The
+     * device-side twin of chk_skip_responder_stall; exists for the
+     * checker's broken-iotlb golden test. Never set it outside tests.
+     */
+    bool chk_skip_iotlb_invalidate = false;
+
     /** Number of CPUs per node (ncpus / numa_nodes). */
     unsigned cpusPerNode() const
     {
         return ncpus / (numa_nodes ? numa_nodes : 1);
     }
+
+    /** NUMA node a device hangs off (round-robin placement). */
+    unsigned nodeOfDevice(unsigned dev) const
+    {
+        return dev % (numa_nodes ? numa_nodes : 1);
+    }
+
+    /**
+     * Total responder ids: CPUs first, then devices. Every CpuSet in
+     * the shootdown machinery is indexed by this combined space.
+     */
+    unsigned responderCount() const { return ncpus + devices; }
 
     /** Priority of the given interrupt source under this config. */
     Spl irqPriority(Irq irq) const;

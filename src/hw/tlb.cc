@@ -22,22 +22,24 @@ nextPow2(std::uint32_t v)
 
 } // namespace
 
-Tlb::Tlb(const MachineConfig *config, PhysMem *mem)
-    : config_(config), mem_(mem), entries_(config->tlb_entries)
+Tlb::Tlb(const MachineConfig *config, PhysMem *mem,
+         unsigned entry_override)
+    : config_(config), mem_(mem),
+      entries_(entry_override != 0 ? entry_override
+                                   : config->tlb_entries),
+      assoc_(entry_override != 0 ? 0 : config->tlb_associativity)
 {
     l0_size_ = std::min(config->tlb_l0_entries, kL0MaxEntries);
     for (L0Slot &slot : l0_)
         slot = {kNoL0Key, 0};
     if (setAssociative()) {
-        MACH_ASSERT(config->tlb_entries % config->tlb_associativity ==
-                    0);
-        set_victims_.assign(
-            config->tlb_entries / config->tlb_associativity, 0);
+        MACH_ASSERT(entries_.size() % assoc_ == 0);
+        set_victims_.assign(entries_.size() / assoc_, 0);
     } else {
         // 4x the entry count keeps the open-addressed index under 25%
         // occupancy right after a rebuild, so probe chains stay short.
-        const std::uint32_t capacity =
-            nextPow2(std::max(64u, 4 * config->tlb_entries));
+        const std::uint32_t capacity = nextPow2(std::max(
+            64u, 4 * static_cast<unsigned>(entries_.size())));
         index_.assign(capacity, kEmptySlot);
         index_mask_ = capacity - 1;
     }
@@ -156,7 +158,7 @@ Tlb::find(SpaceId space, Vpn vpn, bool fill_l0)
         return nullptr;
     }
     if (setAssociative()) {
-        const unsigned ways = config_->tlb_associativity;
+        const unsigned ways = assoc_;
         const std::size_t set =
             hashKey(space, vpn) % set_victims_.size();
         TlbEntry *base = &entries_[set * ways];
@@ -388,7 +390,7 @@ Tlb::insert(SpaceId space, Vpn vpn, Pfn pfn, Prot prot, bool mod)
         return;
     }
     if (setAssociative()) {
-        const unsigned ways = config_->tlb_associativity;
+        const unsigned ways = assoc_;
         const std::size_t set =
             hashKey(space, vpn) % set_victims_.size();
         entry = &entries_[set * ways + set_victims_[set]];

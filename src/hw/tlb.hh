@@ -104,7 +104,14 @@ struct TlbLookup
 class Tlb
 {
   public:
-    Tlb(const MachineConfig *config, PhysMem *mem);
+    /**
+     * @p entry_override resizes the buffer away from the config's CPU
+     * geometry (0 keeps config->tlb_entries). Device IOTLBs use it to
+     * get their own --iotlb-entries capacity; an overridden buffer is
+     * always fully associative (device IOTLBs have no set geometry).
+     */
+    Tlb(const MachineConfig *config, PhysMem *mem,
+        unsigned entry_override = 0);
 
     /**
      * Probe for (space, vpn) wanting @p want access. On a write hit with
@@ -257,7 +264,7 @@ class Tlb
     /** Drop every slot (flushAll). */
     void l0ClearAll();
 
-    bool setAssociative() const { return config_->tlb_associativity > 0; }
+    bool setAssociative() const { return assoc_ > 0; }
     static std::uint64_t hashKey(SpaceId space, Vpn vpn);
     bool entryLive(const TlbEntry &entry) const;
     /** Live count for a space, 0 when its state is stale. */
@@ -289,6 +296,8 @@ class Tlb
     const MachineConfig *config_;
     PhysMem *mem_;
     std::vector<TlbEntry> entries_;
+    /** Ways per set (0 = fully associative); see the ctor. */
+    unsigned assoc_ = 0;
     unsigned next_victim_ = 0;
 
     /** L0 slots; only the first l0_size_ are ever used. */

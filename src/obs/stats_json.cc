@@ -131,6 +131,40 @@ statsJson(vm::Kernel &kernel, const StatsMeta &meta)
     counter(out, "free_frames", stats.free_frames, true);
     out += "  },\n";
 
+    // Emitted only when devices exist, so device-less stats output
+    // stays byte-identical to the pre-device schema.
+    if (!stats.devices.empty()) {
+        out += "  \"device_counters\": {\n";
+        counter(out, "device_commands", stats.device_commands);
+        counter(out, "device_sync_waits", stats.device_sync_waits);
+        counter(out, "cross_node_device_commands",
+                stats.cross_node_device_commands, true);
+        out += "  },\n";
+        out += "  \"devices\": [";
+        for (std::size_t i = 0; i < stats.devices.size(); ++i) {
+            const xpr::DeviceStats &d = stats.devices[i];
+            out += i == 0 ? "\n" : ",\n";
+            out += "    {\"dma_reads\": " + std::to_string(d.dma_reads);
+            out += ", \"dma_writes\": " + std::to_string(d.dma_writes);
+            out += ", \"writes_committed\": " +
+                   std::to_string(d.writes_committed);
+            out += ", \"dma_aborts\": " + std::to_string(d.dma_aborts);
+            out += ", \"dma_faults\": " + std::to_string(d.dma_faults);
+            out += ", \"iommu_walks\": " +
+                   std::to_string(d.iommu_walks);
+            out += ", \"drains\": " + std::to_string(d.drains);
+            out += ", \"iotlb_hits\": " + std::to_string(d.iotlb_hits);
+            out += ", \"iotlb_misses\": " +
+                   std::to_string(d.iotlb_misses);
+            out += ", \"iotlb_flushes\": " +
+                   std::to_string(d.iotlb_flushes);
+            out += ", \"iotlb_single_invalidates\": " +
+                   std::to_string(d.iotlb_single_invalidates);
+            out += "}";
+        }
+        out += "\n  ],\n";
+    }
+
     out += "  \"cpus\": [";
     for (std::size_t i = 0; i < stats.cpus.size(); ++i) {
         const xpr::CpuStats &cpu = stats.cpus[i];

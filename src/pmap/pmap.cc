@@ -8,6 +8,7 @@
 #include "kern/sched.hh"
 #include "obs/request.hh"
 #include "pmap/policy.hh"
+#include "pmap/responder.hh"
 #include "pmap/shootdown.hh"
 #include "xpr/xpr.hh"
 
@@ -53,6 +54,8 @@ Pmap::~Pmap()
         if (sys_->machine().cpu(id).cur_pmap == this)
             sys_->machine().cpu(id).cur_pmap = nullptr;
     }
+    for (TlbResponder *dev : sys_->shoot().responders())
+        dev->tlb().flushSpace(space_);
     sys_->spaces_.erase(space_);
 }
 
@@ -505,6 +508,61 @@ PmapSystem::auditTlbConsistency() const
                               entry.pfn, pte);
                 violations.emplace_back(buf);
             }
+        }
+    }
+    // Device IOTLBs are audited exactly like CPU TLBs: an entry must
+    // never grant rights its PTE does not. The action-needed excuse
+    // applies (a device with actions queued drains them before its
+    // next translation), but there is no deferred-flush excuse --
+    // devices never participate in the LazyAsid deferral.
+    for (pmap::TlbResponder *dev : shoot_->responders()) {
+        if (shoot_->stateFor(dev->id()).action_needed)
+            continue;
+        const std::string label = dev->describe();
+        const std::vector<hw::TlbEntry> live = dev->tlb().entries();
+        auto checkEntry = [&](const hw::TlbEntry &entry,
+                              const char *where) {
+            const Pmap *pmap = pmapForSpace(entry.space);
+            if (pmap == nullptr) {
+                std::snprintf(buf, sizeof(buf),
+                              "%s %scaches vpn 0x%x for a destroyed "
+                              "space %u",
+                              label.c_str(), where, entry.vpn,
+                              entry.space);
+                violations.emplace_back(buf);
+                return;
+            }
+            const std::uint32_t pte = pmap->table().readPte(entry.vpn);
+            if (!hw::pte::valid(pte) ||
+                hw::pte::pfn(pte) != entry.pfn ||
+                !protAllows(hw::pte::prot(pte), entry.prot)) {
+                std::snprintf(buf, sizeof(buf),
+                              "%s %scaches vpn 0x%x space %u prot %u "
+                              "pfn %u but PTE is 0x%08x",
+                              label.c_str(), where, entry.vpn,
+                              entry.space,
+                              static_cast<unsigned>(entry.prot),
+                              entry.pfn, pte);
+                violations.emplace_back(buf);
+            }
+        };
+        for (const hw::TlbEntry &entry : live) {
+            if (entry.valid)
+                checkEntry(entry, "");
+        }
+        for (const hw::TlbEntry &entry : dev->tlb().l0Translations()) {
+            bool mirrors_live = false;
+            for (const hw::TlbEntry &backing : live) {
+                if (backing.valid && backing.space == entry.space &&
+                    backing.vpn == entry.vpn &&
+                    backing.pfn == entry.pfn &&
+                    backing.prot == entry.prot) {
+                    mirrors_live = true;
+                    break;
+                }
+            }
+            if (!mirrors_live)
+                checkEntry(entry, "L0 ");
         }
     }
     // With per-node page-table replicas, every replica must agree with

@@ -126,6 +126,22 @@ class Pmap
     /** Clear the in-use bit after an explicit full flush (ASID mode). */
     void clearInUse(CpuId id) { in_use_.clear(id); }
 
+    // ---- Device bookkeeping -----------------------------------------
+    // DMA-capable devices occupy the tail of the responder id space
+    // (ids >= ncpus, see pmap/responder.hh). The in-use set carries
+    // CPU and device bits alike, so othersUsing() triggers the
+    // shootdown protocol even when only a device's IOTLB still caches
+    // the space.
+
+    /** Device @p id starts caching this space in its IOTLB. */
+    void attachDevice(CpuId id) { in_use_.set(id); }
+    /**
+     * Device @p id stops caching this space. The caller must have
+     * drained pending actions and flushed the space from the IOTLB
+     * first (dev::DmaDevice::detachFrom does both).
+     */
+    void detachDevice(CpuId id) { in_use_.clear(id); }
+
     // ---- Statistics --------------------------------------------------
 
     std::uint64_t ops = 0;

@@ -10,6 +10,7 @@
 #include "obs/request.hh"
 #include "pmap/pmap.hh"
 #include "pmap/policy.hh"
+#include "pmap/responder.hh"
 #include "xpr/xpr.hh"
 
 namespace mach::pmap
@@ -31,6 +32,17 @@ ShootdownController::ShootdownController(PmapSystem &sys)
 }
 
 ShootdownController::~ShootdownController() = default;
+
+void
+ShootdownController::registerResponder(TlbResponder *responder)
+{
+    // Devices claim the id space tail in registration order so the
+    // state_ vector stays index-by-id for CPUs and devices alike.
+    MACH_ASSERT(responder->id() ==
+                machine_.ncpus() + responders_.size());
+    responders_.push_back(responder);
+    state_.push_back(std::make_unique<CpuShootState>());
+}
 
 bool
 ShootdownController::invalidateAfterChange() const
@@ -164,6 +176,38 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
             ++remote_invalidates;
             ++shot;
         }
+        for (TlbResponder *dev : responders_) {
+            const CpuId id = dev->id();
+            if (!pmap.inUse(id))
+                continue;
+            Tick cost = cfg.remote_invalidate_cost;
+            if (dev->node() != self.node()) {
+                cost += machine_.topo().remoteCost(
+                    self.node(), dev->node(),
+                    cfg.remote_invalidate_cost);
+                ++cross_node_device_commands;
+            }
+            self.advanceNoPoll(cost);
+            if (dev->inFlight()) {
+                // Even MC88200-style direct invalidation cannot pull a
+                // translation out from under a transfer already on the
+                // wire: bound the remaining transfer time and wait it
+                // out before shooting the IOTLB entry.
+                dev->requestDrain();
+                ++device_sync_waits;
+                hw::Bus::User bus_user(self.bus());
+                while (dev->inFlight())
+                    self.spinOnce();
+            }
+            hw::Tlb &iotlb = dev->tlb();
+            if (end - start > cfg.tlb_flush_threshold)
+                iotlb.flushSpace(pmap.space());
+            else
+                iotlb.invalidateRange(pmap.space(), start, end);
+            ++remote_invalidates;
+            ++device_commands;
+            ++shot;
+        }
         if (cfg.xpr_enabled) {
             const Tick elapsed = machine_.now() - t_begin;
             self.advanceNoPoll(cfg.xpr_record_cost);
@@ -214,6 +258,36 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
         // (Section 4, omitted detail 3); synchronization still occurs.
         if (!intr.pending(id, hw::Irq::Shootdown))
             send_list.push_back(id);
+    }
+
+    // ---- Device responders (IOTLB shootdown) -------------------------
+    // Devices take no interrupts; the initiator posts an invalidate
+    // command over the (possibly remote) bus instead of an IPI, and
+    // the device fiber drains its action queue at its next operation
+    // boundary. Only an in-flight DMA forces the initiator to wait --
+    // the transfer would otherwise commit through the revoked
+    // translation -- and requestDrain() bounds that wait to
+    // dev_drain_bound. The avoidance policies are not consulted:
+    // device invalidations are always eager (a deferred IOTLB entry
+    // has no context-switch flush to settle it later).
+    std::vector<TlbResponder *> dev_sync;
+    for (TlbResponder *dev : responders_) {
+        const CpuId dev_id = dev->id();
+        if (!pmap.inUse(dev_id))
+            continue;
+        queueAction(self, dev_id, pmap, start, end);
+        Tick cmd = cfg.dev_cmd_cost;
+        if (dev->node() != self.node()) {
+            cmd += machine_.topo().remoteCost(self.node(), dev->node(),
+                                              cfg.dev_cmd_cost);
+            ++cross_node_device_commands;
+        }
+        self.advanceNoPoll(cmd);
+        ++device_commands;
+        if (dev->inFlight()) {
+            dev->requestDrain();
+            dev_sync.push_back(dev);
+        }
     }
 
     MACH_TRACE_LOG(Shootdown, machine_.now(),
@@ -345,6 +419,32 @@ ShootdownController::shoot(kern::Cpu &self, Pmap &pmap, Vpn start,
             CpuShootState &st = *state_[id];
             while (st.action_needed && target.active && pmap.inUse(id))
                 self.spinOnce();
+        }
+    }
+
+    if (!dev_sync.empty()) {
+        // Wait out in-flight DMA. A transfer already on the wire
+        // commits (or aborts) through the pre-change translation, so
+        // the pmap change must not land before the wire is quiet; the
+        // drain requests above bounded each wait. A device that
+        // finishes its transfer drains its action queue at the same
+        // instant, so exiting this spin means the IOTLB entry is gone
+        // too (unless the planted chk_skip_iotlb_invalidate bug left
+        // it behind -- the stale-translation oracle's catch).
+        obs::SpanGuard dev_span(rec, rec.cpuTrack(self.id()),
+                                "shoot.device_sync", "shoot",
+                                "shoot.device_sync_us",
+                                obs::Arg{"devices", dev_sync.size()});
+        obs::ReqScope dev_scope(rec, req,
+                                obs::ReqComponent::ResponderWait);
+        hw::Bus::User bus_user(self.bus());
+        for (TlbResponder *dev : dev_sync) {
+            CpuShootState &st = *state_[dev->id()];
+            ++device_sync_waits;
+            while (st.action_needed && dev->inFlight() &&
+                   pmap.inUse(dev->id())) {
+                self.spinOnce();
+            }
         }
     }
 

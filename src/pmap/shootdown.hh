@@ -62,6 +62,7 @@ namespace mach::pmap
 class Pmap;
 class PmapSystem;
 class ShootdownPolicy;
+class TlbResponder;
 
 /** One queued TLB consistency action. */
 struct ShootAction
@@ -162,6 +163,21 @@ class ShootdownController
 
     CpuShootState &stateFor(CpuId id) { return *state_[id]; }
 
+    /**
+     * Enroll a non-CPU responder (device IOTLB) in the protocol. The
+     * responder's id() must equal ncpus + (number already registered):
+     * devices claim the tail of the CpuSet id space in registration
+     * order, and each gets its own CpuShootState slot so queueAction /
+     * purgePmap treat it exactly like a processor.
+     */
+    void registerResponder(TlbResponder *responder);
+
+    /** Registered non-CPU responders, indexed by (id - ncpus). */
+    const std::vector<TlbResponder *> &responders() const
+    {
+        return responders_;
+    }
+
     /** The avoidance policy selected by MachineConfig. */
     ShootdownPolicy &policy() { return *policy_; }
     const ShootdownPolicy &policy() const { return *policy_; }
@@ -202,6 +218,12 @@ class ShootdownController
     std::uint64_t cross_node_ipis = 0;
     /** Local IPIs posted on a delegate's behalf (phase-two fan-out). */
     std::uint64_t forwarded_ipis = 0;
+    /** Invalidate commands posted to device IOTLB responders. */
+    std::uint64_t device_commands = 0;
+    /** Initiator spins that had to wait out an in-flight DMA. */
+    std::uint64_t device_sync_waits = 0;
+    /** Device commands that crossed the NUMA interconnect. */
+    std::uint64_t cross_node_device_commands = 0;
 
   private:
     /** Queue an action on @p target's queue (initiator side). */
@@ -215,6 +237,7 @@ class ShootdownController
     kern::Machine &machine_;
     std::vector<std::unique_ptr<CpuShootState>> state_;
     std::unique_ptr<ShootdownPolicy> policy_;
+    std::vector<TlbResponder *> responders_;
     /**
      * Per-node sets of send-list members awaiting a locally forwarded
      * IPI (their queues and action-needed flags are already set; only

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "pmap/shootdown.hh"
 
 namespace mach::vm
 {
@@ -16,6 +17,17 @@ Kernel::Kernel(const hw::MachineConfig &config)
     pmap_sys_ = std::make_unique<pmap::PmapSystem>(*machine_);
     io_ = std::make_unique<kern::IoDevice>(machine_.get());
     pager_ = std::make_unique<DefaultPager>(&machine_->mem());
+
+    // DMA-capable devices: each gets a responder id past the CPUs and
+    // enrolls its IOTLB in the shootdown protocol. With devices == 0
+    // (the default) nothing here runs and the machine is bit-identical
+    // to the device-less build.
+    devices_.reserve(config.devices);
+    for (unsigned i = 0; i < config.devices; ++i) {
+        devices_.push_back(std::make_unique<dev::DmaDevice>(
+            *machine_, *pmap_sys_, i));
+        pmap_sys_->shoot().registerResponder(devices_.back().get());
+    }
 
     machine_->setFaultHandler(
         [this](kern::Thread &thread, VAddr va, Prot want) {

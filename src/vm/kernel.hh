@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "dev/dma_device.hh"
 #include "kern/machine.hh"
 #include "kern/sched.hh"
 #include "kern/thread.hh"
@@ -69,6 +70,18 @@ class Kernel
     VmMap &kernelMap() { return kernel_map_; }
     kern::IoDevice &io() { return *io_; }
     DefaultPager &pager() { return *pager_; }
+
+    // ---- DMA devices (MachineConfig::devices of them) ----------------
+
+    unsigned deviceCount() const
+    {
+        return static_cast<unsigned>(devices_.size());
+    }
+    dev::DmaDevice &device(unsigned index) { return *devices_[index]; }
+    const std::vector<std::unique_ptr<dev::DmaDevice>> &devices() const
+    {
+        return devices_;
+    }
 
     /** Bring up idle loops and timers. Call once before machine().run. */
     void start();
@@ -269,6 +282,10 @@ class Kernel
     void pageoutDaemon(kern::Thread &self);
 
     std::unique_ptr<kern::Machine> machine_;
+    // Declared before pmap_sys_: pmap teardown flushes device IOTLBs
+    // through ShootdownController::responders(), so the devices must
+    // outlive the pmap system (members destroy in reverse order).
+    std::vector<std::unique_ptr<dev::DmaDevice>> devices_;
     std::unique_ptr<pmap::PmapSystem> pmap_sys_;
     std::unique_ptr<kern::IoDevice> io_;
     std::unique_ptr<DefaultPager> pager_;

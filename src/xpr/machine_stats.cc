@@ -32,7 +32,27 @@ MachineStats::capture(vm::Kernel &kernel)
         out.remote_mem_accesses = cpu.remote_mem_accesses;
     }
 
+    stats.devices.resize(kernel.deviceCount());
+    for (unsigned i = 0; i < kernel.deviceCount(); ++i) {
+        const dev::DmaDevice &device = kernel.device(i);
+        DeviceStats &out = stats.devices[i];
+        out.dma_reads = device.dma_reads;
+        out.dma_writes = device.dma_writes;
+        out.writes_committed = device.writes_committed;
+        out.dma_aborts = device.dma_aborts;
+        out.dma_faults = device.dma_faults;
+        out.iommu_walks = device.iommu_walks;
+        out.drains = device.drains;
+        out.iotlb_hits = device.tlb().hits;
+        out.iotlb_misses = device.tlb().misses;
+        out.iotlb_flushes = device.tlb().flushes;
+        out.iotlb_single_invalidates = device.tlb().single_invalidates;
+    }
+
     const pmap::ShootdownController &shoot = kernel.pmaps().shoot();
+    stats.device_commands = shoot.device_commands;
+    stats.device_sync_waits = shoot.device_sync_waits;
+    stats.cross_node_device_commands = shoot.cross_node_device_commands;
     stats.shootdowns_initiated = shoot.initiated;
     stats.delayed_waits = shoot.delayed_waits;
     stats.ipis_sent = shoot.interrupts_sent;
@@ -83,6 +103,26 @@ MachineStats::since(const MachineStats &earlier) const
         out.faults_taken -= then.faults_taken;
         out.remote_mem_accesses -= then.remote_mem_accesses;
     }
+    MACH_ASSERT(devices.size() == earlier.devices.size());
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        DeviceStats &out = diff.devices[i];
+        const DeviceStats &then = earlier.devices[i];
+        out.dma_reads -= then.dma_reads;
+        out.dma_writes -= then.dma_writes;
+        out.writes_committed -= then.writes_committed;
+        out.dma_aborts -= then.dma_aborts;
+        out.dma_faults -= then.dma_faults;
+        out.iommu_walks -= then.iommu_walks;
+        out.drains -= then.drains;
+        out.iotlb_hits -= then.iotlb_hits;
+        out.iotlb_misses -= then.iotlb_misses;
+        out.iotlb_flushes -= then.iotlb_flushes;
+        out.iotlb_single_invalidates -= then.iotlb_single_invalidates;
+    }
+    diff.device_commands -= earlier.device_commands;
+    diff.device_sync_waits -= earlier.device_sync_waits;
+    diff.cross_node_device_commands -=
+        earlier.cross_node_device_commands;
     diff.shootdowns_initiated -= earlier.shootdowns_initiated;
     diff.delayed_waits -= earlier.delayed_waits;
     diff.ipis_sent -= earlier.ipis_sent;
@@ -192,6 +232,42 @@ MachineStats::report() const
             static_cast<unsigned long long>(range_invalidates),
             static_cast<unsigned long long>(full_space_flushes),
             static_cast<unsigned long long>(reuse_elisions));
+        out += buf;
+    }
+    if (!devices.empty()) {
+        DeviceStats dev_total;
+        for (const DeviceStats &device : devices) {
+            dev_total.dma_reads += device.dma_reads;
+            dev_total.dma_writes += device.dma_writes;
+            dev_total.writes_committed += device.writes_committed;
+            dev_total.dma_aborts += device.dma_aborts;
+            dev_total.dma_faults += device.dma_faults;
+            dev_total.iommu_walks += device.iommu_walks;
+            dev_total.drains += device.drains;
+            dev_total.iotlb_hits += device.iotlb_hits;
+            dev_total.iotlb_misses += device.iotlb_misses;
+        }
+        std::snprintf(
+            buf, sizeof(buf),
+            "  dev: %zu devices, %llu reads, %llu writes (%llu "
+            "committed, %llu aborted), %llu faults, %llu walks, "
+            "%llu/%llu iotlb hits, %llu drains, %llu commands "
+            "(%llu cross-node), %llu sync waits\n",
+            devices.size(),
+            static_cast<unsigned long long>(dev_total.dma_reads),
+            static_cast<unsigned long long>(dev_total.dma_writes),
+            static_cast<unsigned long long>(dev_total.writes_committed),
+            static_cast<unsigned long long>(dev_total.dma_aborts),
+            static_cast<unsigned long long>(dev_total.dma_faults),
+            static_cast<unsigned long long>(dev_total.iommu_walks),
+            static_cast<unsigned long long>(dev_total.iotlb_hits),
+            static_cast<unsigned long long>(dev_total.iotlb_hits +
+                                            dev_total.iotlb_misses),
+            static_cast<unsigned long long>(dev_total.drains),
+            static_cast<unsigned long long>(device_commands),
+            static_cast<unsigned long long>(
+                cross_node_device_commands),
+            static_cast<unsigned long long>(device_sync_waits));
         out += buf;
     }
     if (cross_node_ipis + forwarded_ipis + remote_faults +

@@ -44,10 +44,34 @@ struct CpuStats
     }
 };
 
+/** Per-DMA-device counters (dev::DmaDevice + its IOTLB). */
+struct DeviceStats
+{
+    std::uint64_t dma_reads = 0;
+    std::uint64_t dma_writes = 0;
+    std::uint64_t writes_committed = 0;
+    std::uint64_t dma_aborts = 0;
+    std::uint64_t dma_faults = 0;
+    std::uint64_t iommu_walks = 0;
+    std::uint64_t drains = 0;
+    std::uint64_t iotlb_hits = 0;
+    std::uint64_t iotlb_misses = 0;
+    std::uint64_t iotlb_flushes = 0;
+    std::uint64_t iotlb_single_invalidates = 0;
+};
+
 /** Snapshot of every counter of interest on a machine. */
 struct MachineStats
 {
     std::vector<CpuStats> cpus;
+
+    // DMA devices (empty with devices == 0; kept out of runDigest so
+    // device-less goldens are unaffected -- same discipline as the
+    // policy and NUMA counters below).
+    std::vector<DeviceStats> devices;
+    std::uint64_t device_commands = 0;
+    std::uint64_t device_sync_waits = 0;
+    std::uint64_t cross_node_device_commands = 0;
 
     // Shootdown machinery.
     std::uint64_t shootdowns_initiated = 0;

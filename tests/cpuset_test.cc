@@ -157,4 +157,79 @@ TEST(CpuSet, BoundaryIds)
     EXPECT_EQ(members(set).back(), CpuSet::kMaxCpus - 1);
 }
 
+TEST(CpuSet, PopulationOpsAtTheCapacityBoundary)
+{
+    // MachineConfig caps ncpus + devices at exactly kMaxCpus, so the
+    // last few ids are reachable responder ids, not dead headroom:
+    // every population op must work on the final word's top bits.
+    CpuSet set;
+    const CpuId last = CpuSet::kMaxCpus - 1;
+    for (CpuId id = last - 3; id <= last; ++id)
+        set.set(id);
+    EXPECT_EQ(set.count(), 4u);
+    EXPECT_EQ(set.format(), "{1020-1023}");
+
+    set.clear(last - 1);
+    EXPECT_EQ(set.format(), "{1020,1021,1023}");
+    set.assign(last - 1, true);
+    set.assign(last - 3, false);
+    EXPECT_EQ(set.format(), "{1021-1023}");
+
+    // Out-of-range probes are safely "not a member"; the union and
+    // intersection of boundary-straddling sets stay in bounds.
+    EXPECT_FALSE(set.test(CpuSet::kMaxCpus));
+    EXPECT_FALSE(set.test(~CpuId{0}));
+    CpuSet other;
+    other.set(0);
+    other.set(last);
+    CpuSet uni = set;
+    uni |= other;
+    EXPECT_EQ(uni.format(), "{0,1021-1023}");
+    CpuSet inter = set;
+    inter &= other;
+    EXPECT_EQ(inter.format(), "{" + std::to_string(last) + "}");
+    EXPECT_EQ(inter.first(), last);
+}
+
+TEST(CpuSet, MixedCpuAndDeviceIdSets)
+{
+    // An in-use set on a device-equipped machine holds both id
+    // families: CPUs at [0, ncpus) and devices at [ncpus, ncpus +
+    // devices) (pmap/responder.hh). The set must not care where the
+    // family boundary falls, including when it straddles a word.
+    const unsigned ncpus = 62;
+    const unsigned devices = 4;
+    CpuSet in_use;
+    for (CpuId cpu = 0; cpu < ncpus; cpu += 2)
+        in_use.set(cpu);
+    for (unsigned dev = 0; dev < devices; ++dev)
+        in_use.set(ncpus + dev);
+    EXPECT_EQ(in_use.count(), ncpus / 2 + devices);
+
+    // Splitting by family -- what the shootdown controller does when
+    // it walks CPUs and device responders in separate phases -- is a
+    // mask intersection, and the two halves partition the set.
+    CpuSet cpu_mask;
+    for (CpuId cpu = 0; cpu < ncpus; ++cpu)
+        cpu_mask.set(cpu);
+    CpuSet cpus = in_use;
+    cpus &= cpu_mask;
+    EXPECT_EQ(cpus.count(), ncpus / 2);
+    unsigned seen_devices = 0;
+    in_use.forEach([&](CpuId id) {
+        if (id >= ncpus) {
+            ++seen_devices;
+            EXPECT_LT(id, ncpus + devices);
+            EXPECT_FALSE(cpus.test(id));
+        }
+    });
+    EXPECT_EQ(seen_devices, devices);
+
+    // The device run straddles the 62/63 -> 64 word boundary and still
+    // collapses into one range next to the even-CPU singles.
+    EXPECT_EQ(in_use.format().substr(
+                  in_use.format().find("60")),
+              "60,62-65}");
+}
+
 } // namespace

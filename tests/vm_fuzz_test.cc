@@ -17,6 +17,9 @@
 #include <tuple>
 #include <vector>
 
+#include "base/perturb.hh"
+#include "chk/explorer.hh"
+#include "chk/vmgen.hh"
 #include "vm/kernel.hh"
 
 namespace mach
@@ -477,6 +480,45 @@ TEST_P(ForkFuzz, InheritanceSemanticsMatchModel)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ForkFuzz,
                          ::testing::Values(3, 13, 23, 43, 53));
+
+// ---------------------------------------------------------------------
+// The device-enabled param point: the library generator (chk/vmgen.hh)
+// with a DMA device attached to the fuzz task, on UMA and 2-node NUMA
+// shapes. Each DMA read/write is predicted by the model and each
+// revocation runs the device command / drain path; the trial runs
+// under the stale-translation oracle via the explorer harness, which
+// is also what auto-enrolls these shapes as checker scenarios.
+// ---------------------------------------------------------------------
+
+class VmFuzzDevice
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>>
+{
+};
+
+TEST_P(VmFuzzDevice, MatchesModelWithDmaOps)
+{
+    setLogQuiet(true);
+    chk::VmGenOptions o;
+    o.seed = std::get<0>(GetParam());
+    o.numa_nodes = std::get<1>(GetParam());
+    if (o.numa_nodes > 1)
+        o.ncpus = 2 * o.numa_nodes;
+    o.devices = true;
+
+    chk::Explorer explorer;
+    const chk::TrialResult r =
+        explorer.runTrial(chk::vmgenScenario(o), SchedulePerturber{});
+    EXPECT_TRUE(r.completed) << "seed " << o.seed;
+    EXPECT_TRUE(r.predicate_ok) << r.note;
+    EXPECT_TRUE(r.coverage_ok) << r.note;
+    EXPECT_EQ(r.violation_count, 0u)
+        << (r.violations.empty() ? "" : r.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, VmFuzzDevice,
+    ::testing::Combine(::testing::Values(3, 7, 21, 42),
+                       ::testing::Values(1u, 2u)));
 
 } // namespace
 } // namespace mach

@@ -137,6 +137,10 @@ struct Options
     std::string placement = "first-touch";
     unsigned migrate_threshold = 4;
     bool pt_replicas = false;
+    // DMA devices (docs/DEVICES.md).
+    unsigned devices = 0;
+    /** 0 keeps the MachineConfig default IOTLB capacity. */
+    unsigned iotlb_entries = 0;
 };
 
 /** Counter-sampling period after resolving the "auto" sentinel. */
@@ -231,9 +235,10 @@ usage()
         "  --app chk           run a checker scenario instead of a\n"
         "                      workload (oracle always attached)\n"
         "  --scenario NAME     which scenario --app chk runs; 'list'\n"
-        "                      prints the library (vmgen-<seed> and\n"
-        "                      vmgen-<seed>x<nodes> names generate\n"
-        "                      property-based scenarios on demand)\n"
+        "                      prints the library (vmgen-<seed>\n"
+        "                      [x<nodes>][d] names generate property-\n"
+        "                      based scenarios on demand; the 'd'\n"
+        "                      suffix mixes in DMA-device ops)\n"
         "  --explore N         run a coverage-guided exploration\n"
         "                      campaign (N probes) over the scenario\n"
         "                      instead of one replay\n"
@@ -294,7 +299,15 @@ usage()
         "                      migrate policy copies it (default 4)\n"
         "  --pt-replicas       numaPTE-style per-node page-table\n"
         "                      replicas, kept coherent by the\n"
-        "                      shootdown machinery\n");
+        "                      shootdown machinery\n"
+        "\ndevices (docs/DEVICES.md):\n"
+        "  --devices N         DMA devices with IOMMU-fed IOTLBs\n"
+        "                      (default 0); each streams DMA against\n"
+        "                      a private buffer task whose driver\n"
+        "                      thread recycles the buffer, so every\n"
+        "                      workload exercises device-responder\n"
+        "                      shootdowns\n"
+        "  --iotlb-entries N   per-device IOTLB capacity (default 8)\n");
 }
 
 bool
@@ -436,6 +449,11 @@ parse(int argc, char **argv, Options *opt)
                 static_cast<unsigned>(atoi(need_value(i)));
         } else if (flag == "--pt-replicas") {
             opt->pt_replicas = true;
+        } else if (flag == "--devices") {
+            opt->devices = static_cast<unsigned>(atoi(need_value(i)));
+        } else if (flag == "--iotlb-entries") {
+            opt->iotlb_entries =
+                static_cast<unsigned>(atoi(need_value(i)));
         } else {
             fatal("unknown flag '%s' (try --help)", flag.c_str());
         }
@@ -497,6 +515,9 @@ toConfig(const Options &opt)
     }
     config.numa_migrate_threshold = opt.migrate_threshold;
     config.numa_pt_replicas = opt.pt_replicas;
+    config.devices = opt.devices;
+    if (opt.iotlb_entries != 0)
+        config.iotlb_entries = opt.iotlb_entries;
     if (!hw::parseShootdownPolicy(opt.shootdown_policy,
                                   &config.shootdown_policy)) {
         fatal("unknown --shootdown-policy '%s' (baseline | lazy-asid "
@@ -790,6 +811,8 @@ runCheckerScenario(const Options &opt,
                     chk::brokenL0Scenario().summary.c_str());
         std::printf("%-22s %s\n", "broken-asid",
                     chk::brokenAsidScenario().summary.c_str());
+        std::printf("%-22s %s\n", "broken-iotlb",
+                    chk::brokenIotlbScenario().summary.c_str());
         return 0;
     }
     chk::Scenario resolved;
